@@ -1,0 +1,51 @@
+//! Criterion bench for E6: the offline pipeline stages — sequential
+//! profiling, PMC identification (Algorithm 1), clustering per strategy,
+//! and exemplar selection (concurrent-test generation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sb_kernel::{boot, KernelConfig};
+use sb_vmm::Executor;
+use snowboard::cluster::{cluster, ALL_STRATEGIES};
+use snowboard::pmc::identify;
+use snowboard::profile::{profile_corpus, profile_one};
+use snowboard::select::{exemplars, ClusterOrder};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let booted = boot(KernelConfig::v5_12_rc3());
+    let corpus = sb_fuzz::seed_programs();
+    let profiles = profile_corpus(&booted, &corpus, 4);
+    let set = identify(&profiles);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+
+    let mut exec = Executor::new(1);
+    group.bench_function("profile_one_test", |b| {
+        b.iter(|| profile_one(&mut exec, &booted, 0, &corpus[0]))
+    });
+
+    group.bench_function("pmc_identification", |b| b.iter(|| identify(&profiles)));
+
+    for s in ALL_STRATEGIES {
+        group.bench_with_input(BenchmarkId::new("clustering", s.to_string()), &s, |b, s| {
+            b.iter(|| cluster(&set, *s))
+        });
+    }
+
+    group.bench_function("test_generation_sinspair", |b| {
+        b.iter(|| {
+            exemplars(
+                &set,
+                snowboard::cluster::Strategy::SInsPair,
+                ClusterOrder::UncommonFirst,
+                1,
+                &std::collections::HashSet::new(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

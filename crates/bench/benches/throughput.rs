@@ -1,0 +1,80 @@
+//! Criterion bench for E4: concurrent-test execution throughput under the
+//! Snowboard, SKI, and random schedulers (§5.4: 193.8 vs 170.3 exec/min).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sb_kernel::prog::{Domain, Res};
+use sb_kernel::{boot, KernelConfig, Program, Syscall};
+use sb_vmm::sched::{RandomSched, Scheduler, SkiSched, SnowboardSched};
+use sb_vmm::Executor;
+use snowboard::pmc::identify;
+use snowboard::profile::profile_corpus;
+
+fn bench_throughput(c: &mut Criterion) {
+    let booted = boot(KernelConfig::v5_12_rc3());
+    let writer = Program::new(vec![
+        Syscall::Socket { domain: Domain::L2tp },
+        Syscall::Connect { sock: Res(0), tunnel_id: 2 },
+    ]);
+    let reader = Program::new(vec![
+        Syscall::Socket { domain: Domain::L2tp },
+        Syscall::Connect { sock: Res(0), tunnel_id: 2 },
+        Syscall::Sendmsg { sock: Res(0), len: 1 },
+    ]);
+    let profiles = profile_corpus(&booted, &[writer.clone(), reader.clone()], 2);
+    let set = identify(&profiles);
+    let (_, pmc) = snowboard::metrics::find_pmc_by_sites(&set, "list_add_rcu", "l2tp_tunnel_get")
+        .expect("l2tp PMC");
+    let hints = pmc.hints();
+
+    let mut exec = Executor::new(2);
+    let mut group = c.benchmark_group("execution_throughput");
+    group.sample_size(20);
+
+    let mut trial = 0u64;
+    group.bench_function(BenchmarkId::new("scheduler", "snowboard"), |b| {
+        let mut sched = SnowboardSched::new(1, hints);
+        b.iter(|| {
+            trial += 1;
+            sched.begin_trial(trial);
+            run_once(&mut exec, &booted, &writer, &reader, &mut sched)
+        })
+    });
+    group.bench_function(BenchmarkId::new("scheduler", "ski"), |b| {
+        let mut sched = SkiSched::new(1, hints.iter().map(|h| h.site));
+        b.iter(|| {
+            trial += 1;
+            sched.begin_trial(trial);
+            run_once(&mut exec, &booted, &writer, &reader, &mut sched)
+        })
+    });
+    group.bench_function(BenchmarkId::new("scheduler", "random"), |b| {
+        b.iter(|| {
+            trial += 1;
+            let mut sched = RandomSched::new(trial, 0.25);
+            run_once(&mut exec, &booted, &writer, &reader, &mut sched)
+        })
+    });
+    group.finish();
+}
+
+fn run_once(
+    exec: &mut Executor,
+    booted: &sb_kernel::BootedKernel,
+    writer: &Program,
+    reader: &Program,
+    sched: &mut dyn Scheduler,
+) -> u64 {
+    let r = exec.run(
+        booted.snapshot.clone(),
+        vec![
+            booted.kernel.process_job(writer.clone()),
+            booted.kernel.process_job(reader.clone()),
+        ],
+        sched,
+    );
+    r.report.steps
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

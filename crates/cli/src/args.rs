@@ -1,0 +1,252 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use sb_kernel::{KernelConfig, KernelVersion};
+use snowboard::cluster::Strategy;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+snowboard — find simulated-kernel concurrency bugs via PMC analysis
+
+USAGE:
+    snowboard <COMMAND> [OPTIONS]
+
+COMMANDS:
+    hunt          run the full pipeline and a campaign
+    strategies    show per-strategy cluster counts for a corpus
+    list-bugs     print the ground-truth issue registry (Table 2)
+    repro         reproduce one known bug with its PMC-hinted schedule
+    help          show this message
+
+OPTIONS (hunt):
+    --version <5.3.10|5.12-rc3>   kernel to test     [default: 5.12-rc3]
+    --patched                     use the fully patched build
+    --strategy <NAME>             clustering strategy [default: s-ins-pair]
+                                  (s-full, s-ch, s-ch-null, s-ch-unaligned,
+                                   s-ch-double, s-ins, s-ins-pair, s-mem)
+    --seed <N>                    random seed        [default: 2021]
+    --corpus <N>                  corpus size target [default: 100]
+    --budget <N>                  max tested PMCs    [default: 400]
+    --trials <N>                  trials per PMC     [default: 24]
+    --workers <N>                 worker threads     [default: 4]
+    --random-order                randomize cluster order
+
+OPTIONS (strategies): --version, --patched, --seed, --corpus
+OPTIONS (repro):      --bug <1|2|3|4|11|12> (console-detectable bugs)
+";
+
+/// Parsed command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cmd {
+    /// Full pipeline + campaign.
+    Hunt {
+        /// Kernel configuration.
+        config: KernelConfig,
+        /// Clustering strategy.
+        strategy: Strategy,
+        /// Random seed.
+        seed: u64,
+        /// Corpus target size.
+        corpus: usize,
+        /// Max tested PMCs.
+        budget: usize,
+        /// Trials per PMC.
+        trials: u32,
+        /// Worker threads.
+        workers: usize,
+        /// Random cluster order instead of uncommon-first.
+        random_order: bool,
+    },
+    /// Cluster-count summary.
+    Strategies {
+        /// Kernel configuration.
+        config: KernelConfig,
+        /// Random seed.
+        seed: u64,
+        /// Corpus target size.
+        corpus: usize,
+    },
+    /// Registry dump.
+    ListBugs,
+    /// Reproduce a known bug.
+    Repro {
+        /// Table 2 id.
+        bug: u8,
+    },
+    /// Usage text.
+    Help,
+}
+
+fn parse_version(s: &str) -> Result<KernelVersion, String> {
+    match s {
+        "5.3.10" | "v5.3.10" => Ok(KernelVersion::V5_3_10),
+        "5.12-rc3" | "v5.12-rc3" => Ok(KernelVersion::V5_12Rc3),
+        other => Err(format!("unknown kernel version '{other}'")),
+    }
+}
+
+fn parse_strategy(s: &str) -> Result<Strategy, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "s-full" => Ok(Strategy::SFull),
+        "s-ch" => Ok(Strategy::SCh),
+        "s-ch-null" => Ok(Strategy::SChNull),
+        "s-ch-unaligned" => Ok(Strategy::SChUnaligned),
+        "s-ch-double" => Ok(Strategy::SChDouble),
+        "s-ins" => Ok(Strategy::SIns),
+        "s-ins-pair" => Ok(Strategy::SInsPair),
+        "s-mem" => Ok(Strategy::SMem),
+        other => Err(format!("unknown strategy '{other}'")),
+    }
+}
+
+fn take_value<'a>(
+    argv: &'a [String],
+    i: &mut usize,
+    flag: &str,
+) -> Result<&'a str, String> {
+    *i += 1;
+    argv.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("{flag}: invalid number '{v}'"))
+}
+
+/// Parses a full command line (without `argv[0]`).
+pub fn parse(argv: &[String]) -> Result<Cmd, String> {
+    let Some(cmd) = argv.first() else {
+        return Err("missing command".into());
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Cmd::Help),
+        "list-bugs" => Ok(Cmd::ListBugs),
+        "repro" => {
+            let mut bug: Option<u8> = None;
+            let mut i = 1;
+            while i < argv.len() {
+                match argv[i].as_str() {
+                    "--bug" => bug = Some(parse_num(take_value(argv, &mut i, "--bug")?, "--bug")?),
+                    other => return Err(format!("unknown option '{other}'")),
+                }
+                i += 1;
+            }
+            let bug = bug.ok_or("repro requires --bug <id>")?;
+            if ![1, 2, 3, 4, 11, 12].contains(&bug) {
+                return Err(format!(
+                    "bug #{bug} is not console-detectable; choose one of 1, 2, 3, 4, 11, 12"
+                ));
+            }
+            Ok(Cmd::Repro { bug })
+        }
+        "strategies" | "hunt" => {
+            let is_hunt = cmd == "hunt";
+            let mut version = KernelVersion::V5_12Rc3;
+            let mut patched = false;
+            let mut strategy = Strategy::SInsPair;
+            let mut seed = 2021u64;
+            let mut corpus = 100usize;
+            let mut budget = 400usize;
+            let mut trials = 24u32;
+            let mut workers = 4usize;
+            let mut random_order = false;
+            let mut i = 1;
+            while i < argv.len() {
+                match argv[i].as_str() {
+                    "--version" => version = parse_version(take_value(argv, &mut i, "--version")?)?,
+                    "--patched" => patched = true,
+                    "--strategy" if is_hunt => {
+                        strategy = parse_strategy(take_value(argv, &mut i, "--strategy")?)?
+                    }
+                    "--seed" => seed = parse_num(take_value(argv, &mut i, "--seed")?, "--seed")?,
+                    "--corpus" => corpus = parse_num(take_value(argv, &mut i, "--corpus")?, "--corpus")?,
+                    "--budget" if is_hunt => {
+                        budget = parse_num(take_value(argv, &mut i, "--budget")?, "--budget")?
+                    }
+                    "--trials" if is_hunt => {
+                        trials = parse_num(take_value(argv, &mut i, "--trials")?, "--trials")?
+                    }
+                    "--workers" if is_hunt => {
+                        workers = parse_num(take_value(argv, &mut i, "--workers")?, "--workers")?
+                    }
+                    "--random-order" if is_hunt => random_order = true,
+                    other => return Err(format!("unknown option '{other}'")),
+                }
+                i += 1;
+            }
+            let mut config = match version {
+                KernelVersion::V5_3_10 => KernelConfig::v5_3_10(),
+                KernelVersion::V5_12Rc3 => KernelConfig::v5_12_rc3(),
+            };
+            if patched {
+                config = config.patched();
+            }
+            if is_hunt {
+                Ok(Cmd::Hunt {
+                    config,
+                    strategy,
+                    seed,
+                    corpus,
+                    budget,
+                    trials,
+                    workers,
+                    random_order,
+                })
+            } else {
+                Ok(Cmd::Strategies { config, seed, corpus })
+            }
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_hunt_with_options() {
+        let cmd = parse(&argv(
+            "hunt --version 5.3.10 --strategy s-ins --seed 7 --budget 50 --trials 8 --random-order",
+        ))
+        .unwrap();
+        match cmd {
+            Cmd::Hunt { config, strategy, seed, budget, trials, random_order, .. } => {
+                assert_eq!(config.version, KernelVersion::V5_3_10);
+                assert_eq!(strategy, Strategy::SIns);
+                assert_eq!((seed, budget, trials), (7, 50, 8));
+                assert!(random_order);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_repro_and_validates_bug_ids() {
+        assert_eq!(parse(&argv("repro --bug 12")).unwrap(), Cmd::Repro { bug: 12 });
+        assert!(parse(&argv("repro --bug 9")).is_err());
+        assert!(parse(&argv("repro")).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_input() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("hunt --nope")).is_err());
+        assert!(parse(&argv("hunt --strategy bogus")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn patched_flag_applies() {
+        let cmd = parse(&argv("strategies --patched")).unwrap();
+        match cmd {
+            Cmd::Strategies { config, .. } => assert!(config.patched),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Command implementations.
+
+use std::process::ExitCode;
+
+use sb_kernel::prog::{IoctlCmd, MsgCmd, Path, Res};
+use sb_kernel::{boot, bugs, KernelConfig, Program, Syscall};
+use sb_vmm::Executor;
+use snowboard::cluster::ALL_STRATEGIES;
+use snowboard::metrics::{hits_bug, interleavings_to_expose, SchedKind};
+use snowboard::pmc::identify;
+use snowboard::profile::profile_corpus;
+use snowboard::select::ClusterOrder;
+use snowboard::{CampaignCfg, Pipeline, PipelineCfg};
+
+use crate::args::{Cmd, USAGE};
+
+/// Dispatches a parsed command.
+pub fn run(cmd: Cmd) -> ExitCode {
+    match cmd {
+        Cmd::Help => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Cmd::ListBugs => list_bugs(),
+        Cmd::Strategies { config, seed, corpus } => strategies(config, seed, corpus),
+        Cmd::Repro { bug } => repro(bug),
+        Cmd::Hunt {
+            config,
+            strategy,
+            seed,
+            corpus,
+            budget,
+            trials,
+            workers,
+            random_order,
+        } => hunt(config, strategy, seed, corpus, budget, trials, workers, random_order),
+    }
+}
+
+fn list_bugs() -> ExitCode {
+    println!("{:<5} {:<4} {:<16} {:<9} summary", "id", "type", "versions", "status");
+    for b in bugs::registry() {
+        let versions = b
+            .versions
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("/");
+        println!(
+            "#{:<4} {:<4} {:<16} {:<9} {}",
+            b.id,
+            b.kind.to_string(),
+            versions,
+            if b.harmful { "harmful" } else { "benign" },
+            b.title
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn strategies(config: KernelConfig, seed: u64, corpus: usize) -> ExitCode {
+    let p = Pipeline::prepare(
+        config,
+        PipelineCfg {
+            seed,
+            corpus_target: corpus,
+            fuzz_budget: (corpus as u64) * 15,
+            workers: 4,
+        },
+    );
+    println!(
+        "corpus: {} tests, {} shared accesses, {} PMCs",
+        p.corpus.len(),
+        p.stats.shared_accesses,
+        p.pmcs.len()
+    );
+    println!("\n{:<16} clusters", "strategy");
+    for s in ALL_STRATEGIES {
+        println!("{:<16} {}", s.to_string(), p.cluster_count(s));
+    }
+    ExitCode::SUCCESS
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hunt(
+    config: KernelConfig,
+    strategy: snowboard::cluster::Strategy,
+    seed: u64,
+    corpus: usize,
+    budget: usize,
+    trials: u32,
+    workers: usize,
+    random_order: bool,
+) -> ExitCode {
+    eprintln!("[hunt] preparing pipeline ({:?})...", config.version);
+    let p = Pipeline::prepare(
+        config,
+        PipelineCfg {
+            seed,
+            corpus_target: corpus,
+            fuzz_budget: (corpus as u64) * 15,
+            workers,
+        },
+    );
+    eprintln!(
+        "[hunt] {} tests, {} PMCs, {} {} clusters",
+        p.corpus.len(),
+        p.pmcs.len(),
+        p.cluster_count(strategy),
+        strategy
+    );
+    let order = if random_order {
+        ClusterOrder::Random
+    } else {
+        ClusterOrder::UncommonFirst
+    };
+    let exemplars = p.exemplars(strategy, order);
+    let report = p.campaign(
+        &exemplars,
+        &CampaignCfg {
+            seed,
+            trials_per_pmc: trials,
+            max_tested_pmcs: budget,
+            workers,
+            stop_on_finding: true,
+            incidental: true,
+        },
+    );
+    println!(
+        "tested {} PMCs in {} executions; {:.1}% exercised their predicted channel",
+        report.tested(),
+        report.executions,
+        100.0 * report.accuracy()
+    );
+    if report.issues.is_empty() {
+        println!("no issues found");
+        return ExitCode::SUCCESS;
+    }
+    println!("\nissues, in discovery order:");
+    for issue in &report.issues {
+        match issue.bug_id.and_then(bugs::by_id) {
+            Some(b) => println!(
+                "  after {:>4} tests: #{} [{}] {}",
+                issue.found_after_tests,
+                b.id,
+                if b.harmful { "HARMFUL" } else { "benign" },
+                b.title
+            ),
+            None => println!(
+                "  after {:>4} tests: (untriaged) {}",
+                issue.found_after_tests, issue.key
+            ),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Known reproduction recipes for the console-detectable bugs.
+fn repro_recipe(bug: u8) -> (KernelConfig, Program, Program, &'static str, &'static str) {
+    match bug {
+        1 => (
+            KernelConfig::v5_3_10(),
+            Program::new(vec![
+                Syscall::Msgget { key: 3 },
+                Syscall::Msgctl { id: Res(0), cmd: MsgCmd::Rmid },
+            ]),
+            Program::new(vec![Syscall::Msgget { key: 3 }]),
+            "rht_assign_unlock",
+            "rht_ptr",
+        ),
+        2 => (
+            KernelConfig::v5_12_rc3(),
+            Program::new(vec![
+                Syscall::Open { path: Path::Ext4File(1) },
+                Syscall::Write { fd: Res(0), off: 1, val: 7 },
+                Syscall::Ioctl { fd: Res(0), cmd: IoctlCmd::Ext4SwapBoot, arg: 0 },
+            ]),
+            Program::new(vec![
+                Syscall::Open { path: Path::Ext4File(1) },
+                Syscall::Write { fd: Res(0), off: 1, val: 7 },
+                Syscall::Ioctl { fd: Res(0), cmd: IoctlCmd::Ext4SwapBoot, arg: 0 },
+            ]),
+            "ext4_mark_inode_dirty",
+            "swap_inode_boot_loader",
+        ),
+        3 => (
+            KernelConfig::v5_3_10(),
+            Program::new(vec![
+                Syscall::Open { path: Path::Ext4File(2) },
+                Syscall::Write { fd: Res(0), off: 0, val: 1 },
+            ]),
+            Program::new(vec![
+                Syscall::Open { path: Path::Ext4File(2) },
+                Syscall::Read { fd: Res(0), off: 0 },
+            ]),
+            "ext4_ext_insert",
+            "ext4_ext_check_inode",
+        ),
+        4 => (
+            KernelConfig::v5_3_10(),
+            Program::new(vec![
+                Syscall::Open { path: Path::BlockDev },
+                Syscall::Ioctl { fd: Res(0), cmd: IoctlCmd::BlkSetSize, arg: 0 },
+            ]),
+            Program::new(vec![
+                Syscall::Open { path: Path::Ext4File(0) },
+                Syscall::Write { fd: Res(0), off: 9, val: 3 },
+            ]),
+            "blkdev_set_capacity",
+            "blk_update_request",
+        ),
+        11 => (
+            KernelConfig::v5_12_rc3(),
+            Program::new(vec![
+                Syscall::Mkdir { item: 1 },
+                Syscall::Rmdir { item: 1 },
+            ]),
+            Program::new(vec![
+                Syscall::Mkdir { item: 1 },
+                Syscall::Open { path: Path::Configfs(1) },
+            ]),
+            "configfs_detach",
+            "configfs_lookup",
+        ),
+        12 => (
+            KernelConfig::v5_12_rc3(),
+            Program::new(vec![
+                Syscall::Socket { domain: sb_kernel::prog::Domain::L2tp },
+                Syscall::Connect { sock: Res(0), tunnel_id: 2 },
+            ]),
+            Program::new(vec![
+                Syscall::Socket { domain: sb_kernel::prog::Domain::L2tp },
+                Syscall::Connect { sock: Res(0), tunnel_id: 2 },
+                Syscall::Sendmsg { sock: Res(0), len: 1 },
+            ]),
+            "list_add_rcu",
+            "l2tp_tunnel_get",
+        ),
+        other => unreachable!("validated at parse time: {other}"),
+    }
+}
+
+fn repro(bug: u8) -> ExitCode {
+    let b = bugs::by_id(bug).expect("registry id");
+    println!("reproducing #{bug}: {}\n", b.title);
+    let (config, writer, reader, wfn, rfn) = repro_recipe(bug);
+    println!("kernel {:?}\n\ntest 1 (writer):\n{writer}\ntest 2 (reader):\n{reader}", config.version);
+    let booted = boot(config);
+    let profiles = profile_corpus(&booted, &[writer.clone(), reader.clone()], 2);
+    let set = identify(&profiles);
+    let Some((_, pmc)) = snowboard::metrics::find_pmc_by_sites(&set, wfn, rfn) else {
+        eprintln!("PMC ({wfn} -> {rfn}) not predicted; cannot reproduce");
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "scheduling hint: write {} -> read {}\n",
+        pmc.key.w.ins.display_name(),
+        pmc.key.r.ins.display_name()
+    );
+    let mut exec = Executor::new(2);
+    match interleavings_to_expose(
+        &mut exec, &booted, &writer, &reader, pmc, SchedKind::Snowboard, 1, 4096, hits_bug(bug),
+    ) {
+        Some(r) => {
+            println!("exposed after {} interleavings", r.interleavings);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("not exposed within 4096 interleavings");
+            ExitCode::FAILURE
+        }
+    }
+}

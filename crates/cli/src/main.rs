@@ -1,0 +1,25 @@
+//! `snowboard` — command-line interface to the Snowboard reproduction.
+//!
+//! ```console
+//! $ snowboard hunt --version 5.12-rc3 --strategy s-ins-pair --budget 300
+//! $ snowboard list-bugs
+//! $ snowboard repro --bug 12
+//! $ snowboard strategies --version 5.12-rc3
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod cmd;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => cmd::run(cmd),
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

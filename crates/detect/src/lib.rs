@@ -1,0 +1,151 @@
+//! Bug oracles for concurrent executions.
+//!
+//! The paper wires "stock bug detectors" into the execution framework
+//! (§3.1, §4.4.1): a kernel-console checker, a DataCollider-style data-race
+//! detector, and liveness monitors. This crate implements them over the
+//! engine's [`ExecReport`]s. The detectors are deliberately ignorant of the
+//! planted-bug ground truth — triage against the registry happens downstream
+//! (in `snowboard::triage`), mirroring the paper's separation between
+//! detection and manual inspection.
+
+pub mod console;
+pub mod race;
+
+use serde::{Deserialize, Serialize};
+
+use sb_vmm::exec::{ExecReport, Outcome};
+
+pub use console::scan_console;
+pub use race::{detect_races, RaceReport};
+
+/// One raw detector finding from a single execution.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Finding {
+    /// The kernel panicked (oops / page fault).
+    KernelPanic {
+        /// The console line describing the panic.
+        msg: String,
+    },
+    /// An error-class console line short of a panic (fs errors, IO errors,
+    /// WARN splats).
+    ConsoleError {
+        /// The offending console line.
+        line: String,
+    },
+    /// A data race between two instruction sites.
+    DataRace {
+        /// Site name of one access (the write, when only one side writes).
+        write_site: String,
+        /// Site name of the other access.
+        other_site: String,
+        /// Address the racing accesses overlapped on.
+        addr: u64,
+    },
+    /// Every live thread blocked.
+    Deadlock,
+    /// The execution exceeded its liveness budget.
+    Livelock,
+}
+
+impl Finding {
+    /// A stable deduplication key: executions triggering the same underlying
+    /// issue produce the same key.
+    pub fn dedup_key(&self) -> String {
+        match self {
+            Finding::KernelPanic { msg } => format!("panic:{}", strip_numbers(msg)),
+            Finding::ConsoleError { line } => format!("console:{}", strip_numbers(line)),
+            Finding::DataRace {
+                write_site,
+                other_site,
+                ..
+            } => {
+                // Unordered pair.
+                let (a, b) = if write_site <= other_site {
+                    (write_site, other_site)
+                } else {
+                    (other_site, write_site)
+                };
+                format!("race:{a}/{b}")
+            }
+            Finding::Deadlock => "deadlock".to_owned(),
+            Finding::Livelock => "livelock".to_owned(),
+        }
+    }
+}
+
+/// Removes hex/decimal payloads from a console line so lines differing only
+/// in addresses or counters dedup together.
+fn strip_numbers(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_num = false;
+    for c in s.chars() {
+        if c.is_ascii_hexdigit() || c == 'x' && in_num {
+            if !in_num {
+                out.push('#');
+                in_num = true;
+            }
+        } else {
+            in_num = false;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Runs every oracle over one execution report.
+pub fn analyze(report: &ExecReport) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    match &report.outcome {
+        Outcome::Panic { msg } => findings.push(Finding::KernelPanic { msg: msg.clone() }),
+        Outcome::Deadlock => findings.push(Finding::Deadlock),
+        Outcome::Livelock => findings.push(Finding::Livelock),
+        Outcome::Completed => {}
+    }
+    findings.extend(scan_console(&report.console));
+    for race in detect_races(&report.trace) {
+        findings.push(Finding::DataRace {
+            write_site: race.write_site.display_name(),
+            other_site: race.other_site.display_name(),
+            addr: race.addr,
+        });
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_keys_ignore_addresses() {
+        let a = Finding::KernelPanic {
+            msg: "BUG: kernel NULL pointer dereference, address: 0x10 at l2tp".into(),
+        };
+        let b = Finding::KernelPanic {
+            msg: "BUG: kernel NULL pointer dereference, address: 0x58 at l2tp".into(),
+        };
+        assert_eq!(a.dedup_key(), b.dedup_key());
+    }
+
+    #[test]
+    fn dedup_keys_are_unordered_for_races() {
+        let a = Finding::DataRace {
+            write_site: "w:x".into(),
+            other_site: "r:y".into(),
+            addr: 1,
+        };
+        let b = Finding::DataRace {
+            write_site: "r:y".into(),
+            other_site: "w:x".into(),
+            addr: 99,
+        };
+        assert_eq!(a.dedup_key(), b.dedup_key());
+    }
+
+    #[test]
+    fn distinct_findings_have_distinct_keys() {
+        let a = Finding::Deadlock;
+        let b = Finding::Livelock;
+        assert_ne!(a.dedup_key(), b.dedup_key());
+    }
+}

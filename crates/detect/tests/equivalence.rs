@@ -1,0 +1,92 @@
+//! Property test: the sorted-scan race detector is equivalent to a naive
+//! quadratic reference implementation on random traces.
+
+use proptest::prelude::*;
+
+use sb_detect::race::{detect_races_windowed, RaceReport};
+use sb_vmm::access::{Access, AccessKind};
+use sb_vmm::mem::is_stack_addr;
+use sb_vmm::site::Site;
+
+/// Naive O(n²) reference: every pair, checked directly against the race
+/// definition.
+fn reference(trace: &[Access], window: u64) -> Vec<RaceReport> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for i in 0..trace.len() {
+        for j in i + 1..trace.len() {
+            let (a, b) = (&trace[i], &trace[j]);
+            if is_stack_addr(a.addr) || is_stack_addr(b.addr) {
+                continue;
+            }
+            let race = a.thread != b.thread
+                && (a.kind.is_write() || b.kind.is_write())
+                && !(a.atomic && b.atomic)
+                && a.overlaps(b)
+                && !a.shares_lock_with(b)
+                && a.seq.abs_diff(b.seq) <= window;
+            if race {
+                let (w, o) = if a.kind.is_write() { (a, b) } else { (b, a) };
+                let r = RaceReport {
+                    write_site: w.site,
+                    other_site: o.site,
+                    addr: b.addr.max(a.addr).min(b.addr),
+                    seqs: (a.seq, b.seq),
+                };
+                if seen.insert(r.pair_key()) {
+                    out.push(r);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn arb_trace() -> impl Strategy<Value = Vec<Access>> {
+    proptest::collection::vec(
+        (
+            0usize..3,                     // thread
+            0u8..8,                        // site index
+            0u64..12,                      // addr slot (overlap-dense)
+            1u8..=8,                       // len
+            proptest::bool::ANY,           // write?
+            proptest::bool::ANY,           // atomic?
+            proptest::collection::vec(0u64..3, 0..2), // lock indices
+        ),
+        0..40,
+    )
+    .prop_map(|entries| {
+        entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, (thread, s, slot, len, write, atomic, locks))| Access {
+                seq: i as u64,
+                thread,
+                site: Site::intern(&format!("eq:site{s}")),
+                kind: if write { AccessKind::Write } else { AccessKind::Read },
+                addr: 0x2_0000 + slot * 4,
+                len,
+                value: 0,
+                atomic,
+                locks: locks.iter().map(|l| 0x9_0000 + l * 8).collect(),
+                rcu_depth: 0,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sorted_scan_matches_reference(trace in arb_trace(), window in 0u64..50) {
+        let fast = detect_races_windowed(&trace, window);
+        let slow = reference(&trace, window);
+        let key = |rs: &[RaceReport]| {
+            let mut k: Vec<(Site, Site)> = rs.iter().map(RaceReport::pair_key).collect();
+            k.sort_unstable();
+            k
+        };
+        prop_assert_eq!(key(&fast), key(&slow));
+    }
+}

@@ -1,0 +1,370 @@
+//! Ground-truth registry of the planted concurrency issues.
+//!
+//! Table 2 of the paper lists 17 issues (14 bugs + 3 benign data races).
+//! Each has a structurally faithful counterpart planted in this simulated
+//! kernel; this module is the oracle the experiment harness uses to map raw
+//! detector reports (console lines, data-race site pairs) back to issue ids
+//! and to classify them as harmful or benign — the role the authors' 80
+//! person-hours of manual inspection play in §5.2.
+
+use crate::KernelVersion;
+
+/// Concurrency-bug classes, following Lu et al.'s taxonomy used in Table 2.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BugKind {
+    /// Data race.
+    DataRace,
+    /// Atomicity violation.
+    AtomicityViolation,
+    /// Order violation.
+    OrderViolation,
+}
+
+impl std::fmt::Display for BugKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BugKind::DataRace => write!(f, "DR"),
+            BugKind::AtomicityViolation => write!(f, "AV"),
+            BugKind::OrderViolation => write!(f, "OV"),
+        }
+    }
+}
+
+/// How a planted issue manifests to the stock detectors.
+#[derive(Clone, Debug)]
+pub enum Signature {
+    /// A kernel console line containing this substring.
+    Console(&'static str),
+    /// A data race between two kernel functions (site-name function parts,
+    /// unordered; the two names may be equal for self-races).
+    RacePair(&'static str, &'static str),
+}
+
+/// One entry of the ground-truth registry.
+#[derive(Clone, Debug)]
+pub struct KnownBug {
+    /// Issue number, matching Table 2.
+    pub id: u8,
+    /// Short description (Table 2's Summary column).
+    pub title: &'static str,
+    /// Kernel subsystem (Table 2's Subsystem column).
+    pub subsystem: &'static str,
+    /// Bug class.
+    pub kind: BugKind,
+    /// True when the issue is harmful (bold in Table 2); false for benign
+    /// data races.
+    pub harmful: bool,
+    /// Kernel versions containing the issue.
+    pub versions: &'static [KernelVersion],
+    /// Whether the triggering concurrent test pairs two distinct sequential
+    /// tests (`true`) or two identical ones (`false`), per Table 2's Input
+    /// column.
+    pub distinct_input: bool,
+    /// Detector signatures that identify this issue.
+    pub signatures: &'static [Signature],
+}
+
+use KernelVersion::{V5_12Rc3, V5_3_10};
+
+static REGISTRY: &[KnownBug] = &[
+    KnownBug {
+        id: 1,
+        title: "BUG: unable to handle page fault for address (rhashtable double fetch)",
+        subsystem: "include/linux/",
+        kind: BugKind::DataRace,
+        harmful: true,
+        versions: &[V5_3_10],
+        distinct_input: true,
+        signatures: &[Signature::Console("unable to handle page fault")],
+    },
+    KnownBug {
+        id: 2,
+        title: "EXT4-fs error: swap_inode_boot_loader: checksum invalid",
+        subsystem: "fs/ext4/",
+        kind: BugKind::AtomicityViolation,
+        harmful: true,
+        versions: &[V5_3_10, V5_12Rc3],
+        distinct_input: false,
+        signatures: &[Signature::Console("swap_inode_boot_loader")],
+    },
+    KnownBug {
+        id: 3,
+        title: "EXT4-fs error: ext4_ext_check_inode: invalid magic",
+        subsystem: "fs/ext4/",
+        kind: BugKind::AtomicityViolation,
+        harmful: false,
+        versions: &[V5_3_10],
+        distinct_input: false,
+        signatures: &[Signature::Console("ext4_ext_check_inode")],
+    },
+    KnownBug {
+        id: 4,
+        title: "Blk_update_request: IO error",
+        subsystem: "fs/",
+        kind: BugKind::AtomicityViolation,
+        harmful: true,
+        versions: &[V5_3_10],
+        distinct_input: true,
+        signatures: &[Signature::Console("Blk_update_request: IO error")],
+    },
+    KnownBug {
+        id: 5,
+        title: "Data race: blkdev_ioctl() / generic_fadvise()",
+        subsystem: "block/, mm/",
+        kind: BugKind::DataRace,
+        harmful: true,
+        versions: &[V5_3_10],
+        distinct_input: true,
+        signatures: &[Signature::RacePair("blkdev_ioctl", "generic_fadvise")],
+    },
+    KnownBug {
+        id: 6,
+        title: "Data race: do_mpage_readpage() / set_blocksize()",
+        subsystem: "fs/",
+        kind: BugKind::DataRace,
+        harmful: false,
+        versions: &[V5_3_10],
+        distinct_input: true,
+        signatures: &[Signature::RacePair("do_mpage_readpage", "set_blocksize")],
+    },
+    KnownBug {
+        id: 7,
+        title: "Data race: rawv6_send_hdrinc() / __dev_set_mtu()",
+        subsystem: "net/",
+        kind: BugKind::DataRace,
+        harmful: true,
+        versions: &[V5_3_10],
+        distinct_input: true,
+        signatures: &[Signature::RacePair("rawv6_send_hdrinc", "__dev_set_mtu")],
+    },
+    KnownBug {
+        id: 8,
+        title: "Data race: packet_getname() / e1000_set_mac()",
+        subsystem: "net/",
+        kind: BugKind::DataRace,
+        harmful: true,
+        versions: &[V5_3_10],
+        distinct_input: true,
+        signatures: &[Signature::RacePair("packet_getname", "e1000_set_mac")],
+    },
+    KnownBug {
+        id: 9,
+        title: "Data race: dev_ifsioc_locked() / eth_commit_mac_addr_change()",
+        subsystem: "net/",
+        kind: BugKind::DataRace,
+        harmful: true,
+        versions: &[V5_3_10],
+        distinct_input: true,
+        signatures: &[Signature::RacePair(
+            "dev_ifsioc_locked",
+            "eth_commit_mac_addr_change",
+        )],
+    },
+    KnownBug {
+        id: 10,
+        title: "Data race: fib6_get_cookie_safe() / fib6_clean_node()",
+        subsystem: "net/",
+        kind: BugKind::DataRace,
+        harmful: false,
+        versions: &[V5_3_10],
+        distinct_input: true,
+        signatures: &[Signature::RacePair("fib6_get_cookie_safe", "fib6_clean_node")],
+    },
+    KnownBug {
+        id: 11,
+        title: "BUG: kernel NULL pointer dereference (configfs_lookup)",
+        subsystem: "fs/configfs",
+        kind: BugKind::DataRace,
+        harmful: true,
+        versions: &[V5_12Rc3],
+        distinct_input: true,
+        signatures: &[
+            Signature::Console("configfs_lookup"),
+            Signature::RacePair("configfs_lookup", "configfs_detach"),
+        ],
+    },
+    KnownBug {
+        id: 12,
+        title: "BUG: kernel NULL pointer dereference (l2tp tunnel sock)",
+        subsystem: "net/l2tp",
+        kind: BugKind::OrderViolation,
+        harmful: true,
+        versions: &[V5_12Rc3],
+        distinct_input: true,
+        signatures: &[Signature::Console("bh_lock_sock")],
+    },
+    KnownBug {
+        id: 13,
+        title: "Data race: cache_alloc_refill() / free_block()",
+        subsystem: "mm/",
+        kind: BugKind::DataRace,
+        harmful: false,
+        versions: &[V5_12Rc3],
+        distinct_input: false,
+        signatures: &[
+            Signature::RacePair("cache_alloc_refill", "free_block"),
+            Signature::RacePair("cache_alloc_refill", "cache_alloc_refill"),
+            Signature::RacePair("free_block", "free_block"),
+        ],
+    },
+    KnownBug {
+        id: 14,
+        title: "Data race: tty_port_open() / uart_do_autoconfig()",
+        subsystem: "driver/tty/",
+        kind: BugKind::DataRace,
+        harmful: true,
+        versions: &[V5_12Rc3],
+        distinct_input: true,
+        signatures: &[Signature::RacePair("tty_port_open", "uart_do_autoconfig")],
+    },
+    KnownBug {
+        id: 15,
+        title: "Data race: snd_ctl_elem_add()",
+        subsystem: "sound/core",
+        kind: BugKind::DataRace,
+        harmful: true,
+        versions: &[V5_12Rc3],
+        distinct_input: true,
+        signatures: &[Signature::RacePair("snd_ctl_elem_add", "snd_ctl_elem_add")],
+    },
+    KnownBug {
+        id: 16,
+        title: "Data race: tcp_set_default_congestion_control() / tcp_set_congestion_control()",
+        subsystem: "net/ipv4",
+        kind: BugKind::DataRace,
+        harmful: false,
+        versions: &[V5_12Rc3],
+        distinct_input: true,
+        signatures: &[Signature::RacePair(
+            "tcp_set_default_congestion_control",
+            "tcp_set_congestion_control",
+        )],
+    },
+    KnownBug {
+        id: 17,
+        title: "Data race: fanout_demux_rollover() / __fanout_unlink()",
+        subsystem: "net/packet",
+        kind: BugKind::DataRace,
+        harmful: true,
+        versions: &[V5_12Rc3],
+        distinct_input: true,
+        signatures: &[
+            Signature::RacePair("fanout_demux_rollover", "__fanout_unlink"),
+            Signature::RacePair("fanout_demux_rollover", "__fanout_link"),
+        ],
+    },
+];
+
+/// The full ground-truth registry, in Table 2 order.
+pub fn registry() -> &'static [KnownBug] {
+    REGISTRY
+}
+
+/// Looks an issue up by id.
+pub fn by_id(id: u8) -> Option<&'static KnownBug> {
+    REGISTRY.iter().find(|b| b.id == id)
+}
+
+/// Extracts the kernel-function part of a site name
+/// (`"eth_commit_mac_addr_change:memcpy"` → `"eth_commit_mac_addr_change"`).
+pub fn site_function(site_name: &str) -> &str {
+    site_name.split(':').next().unwrap_or(site_name)
+}
+
+/// Matches a console line against the registry, returning the issue id.
+pub fn match_console(line: &str) -> Option<u8> {
+    REGISTRY.iter().find_map(|b| {
+        b.signatures.iter().find_map(|s| match s {
+            Signature::Console(pat) if line.contains(pat) => Some(b.id),
+            _ => None,
+        })
+    })
+}
+
+/// Matches an (unordered) data-race site pair against the registry.
+pub fn match_race(site_a: &str, site_b: &str) -> Option<u8> {
+    let fa = site_function(site_a);
+    let fb = site_function(site_b);
+    REGISTRY.iter().find_map(|b| {
+        b.signatures.iter().find_map(|s| match s {
+            Signature::RacePair(x, y)
+                if (fa == *x && fb == *y) || (fa == *y && fb == *x) =>
+            {
+                Some(b.id)
+            }
+            _ => None,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_seventeen_issues() {
+        assert_eq!(registry().len(), 17);
+        for (i, b) in registry().iter().enumerate() {
+            assert_eq!(usize::from(b.id), i + 1, "ids must be 1..=17 in order");
+            assert!(!b.signatures.is_empty());
+        }
+    }
+
+    #[test]
+    fn harmful_benign_split_matches_table2() {
+        let benign: Vec<u8> = registry()
+            .iter()
+            .filter(|b| !b.harmful)
+            .map(|b| b.id)
+            .collect();
+        // #10, #13, #16 are the benign data races; #3 and #6 were reported
+        // but not confirmed harmful (plain, non-bold in Table 2).
+        assert_eq!(benign, vec![3, 6, 10, 13, 16]);
+    }
+
+    #[test]
+    fn console_matching() {
+        assert_eq!(
+            match_console("EXT4-fs error (device sda): swap_inode_boot_loader: checksum invalid"),
+            Some(2)
+        );
+        assert_eq!(
+            match_console("BUG: unable to handle page fault for address: 0x1100"),
+            Some(1)
+        );
+        assert_eq!(match_console("harmless line"), None);
+    }
+
+    #[test]
+    fn race_matching_is_unordered_and_function_scoped() {
+        assert_eq!(
+            match_race("eth_commit_mac_addr_change:memcpy", "dev_ifsioc_locked:memcpy"),
+            Some(9)
+        );
+        assert_eq!(
+            match_race("dev_ifsioc_locked:memcpy", "eth_commit_mac_addr_change:memcpy"),
+            Some(9)
+        );
+        assert_eq!(
+            match_race("cache_alloc_refill:stat_write", "cache_alloc_refill:stat_read"),
+            Some(13)
+        );
+        assert_eq!(match_race("foo:a", "bar:b"), None);
+    }
+
+    #[test]
+    fn version_columns_match_table2() {
+        let v5_3: Vec<u8> = registry()
+            .iter()
+            .filter(|b| b.versions.contains(&KernelVersion::V5_3_10))
+            .map(|b| b.id)
+            .collect();
+        assert_eq!(v5_3, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        let rc: Vec<u8> = registry()
+            .iter()
+            .filter(|b| b.versions.contains(&KernelVersion::V5_12Rc3))
+            .map(|b| b.id)
+            .collect();
+        assert_eq!(rc, vec![2, 11, 12, 13, 14, 15, 16, 17]);
+    }
+}

@@ -1,0 +1,89 @@
+//! IPv6 FIB cookie (issue #10, benign data race).
+//!
+//! `fib6_clean_node()` bumps the table's sernum/cookie under the table lock;
+//! `fib6_get_cookie_safe()` reads it locklessly to validate cached dst
+//! entries. The race is real but benign — a stale read just forces a cache
+//! revalidation. Table 2 classifies it as benign; the registry does too.
+
+use sb_vmm::ctx::KResult;
+use sb_vmm::site;
+
+use crate::Env;
+
+/// Boots the fib6 subsystem: the cookie cell and its lock.
+pub fn boot(env: &Env<'_>) -> KResult<Vec<(&'static str, u64)>> {
+    let cookie = env.kzalloc(8)?;
+    env.ctx.write_u64(site!("fib6_boot:cookie"), cookie, 1)?;
+    let lock = env.kzalloc(8)?;
+    Ok(vec![("fib6.cookie", cookie), ("fib6.lock", lock)])
+}
+
+/// Route change: bump the cookie under the table lock (#10 writer).
+pub fn fib6_clean_node(env: &Env<'_>) -> KResult<u64> {
+    let cookie = env.sym("fib6.cookie");
+    let lock = env.sym("fib6.lock");
+    let plain = env.config.has_bug(10);
+    env.ctx.with_lock(lock, || {
+        if plain {
+            let v = env.ctx.read_u64(site!("fib6_clean_node:load"), cookie)?;
+            env.ctx
+                .write_u64(site!("fib6_clean_node:bump"), cookie, v + 1)?;
+            Ok(v + 1)
+        } else {
+            let v = env.ctx.read_atomic(site!("fib6_clean_node:load"), cookie, 8)?;
+            env.ctx
+                .write_atomic(site!("fib6_clean_node:bump"), cookie, 8, v + 1)?;
+            Ok(v + 1)
+        }
+    })
+}
+
+/// Connect path on an Inet socket: validate the cached route cookie with a
+/// lockless read (#10 reader).
+pub fn inet_connect(env: &Env<'_>, sk: u64) -> KResult<u64> {
+    let cookie = env.sym("fib6.cookie");
+    let v = if env.config.has_bug(10) {
+        env.ctx
+            .read_u64(site!("fib6_get_cookie_safe:load"), cookie)?
+    } else {
+        env.ctx
+            .read_atomic(site!("fib6_get_cookie_safe:load"), cookie, 8)?
+    };
+    // Cache the observed cookie in the socket's dst entry.
+    env.ctx
+        .write_u64(site!("fib6_get_cookie_safe:cache"), sk + 16, v)?;
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subsys::tcp_cong;
+    use crate::{boot, KernelConfig};
+    use sb_vmm::sched::FreeRun;
+    use sb_vmm::{Ctx, Executor};
+
+    #[test]
+    fn cookie_bumps_and_reads() {
+        let booted = boot(KernelConfig::v5_3_10());
+        let mut exec = Executor::new(1);
+        let kernel = booted.kernel.clone();
+        let r = exec.run(
+            booted.snapshot.clone(),
+            vec![Box::new(move |ctx: &Ctx| {
+                let env = Env {
+                    ctx,
+                    syms: &kernel.syms,
+                    config: kernel.config,
+                };
+                assert_eq!(fib6_clean_node(&env)?, 2);
+                assert_eq!(fib6_clean_node(&env)?, 3);
+                let sk = tcp_cong::inet_socket(&env)?;
+                inet_connect(&env, sk)?;
+                Ok(())
+            })],
+            &mut FreeRun,
+        );
+        assert!(r.report.outcome.is_completed());
+    }
+}

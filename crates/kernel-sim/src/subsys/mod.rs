@@ -1,0 +1,333 @@
+//! Kernel subsystems.
+//!
+//! Each module models one Linux subsystem involved in a Table 2 finding:
+//! global state lives in guest memory (registered in the symbol table at
+//! boot), and handlers perform traced, schedulable accesses. Buggy code
+//! paths are gated on [`crate::KernelConfig::has_bug`], so the same source
+//! builds the "5.3.10", "5.12-rc3", and fully patched kernels.
+
+pub mod blkdev;
+pub mod configfs;
+pub mod ext4;
+pub mod fib6;
+pub mod l2tp;
+pub mod netdev;
+pub mod packet;
+pub mod rhash;
+pub mod slab;
+pub mod sound;
+pub mod tcp_cong;
+pub mod tty;
+
+use sb_vmm::ctx::{Ctx, KResult};
+
+use crate::prog::{Domain, IoctlCmd, Path, SockOpt, Syscall};
+use crate::{Env, FdKind, FdObj, KernelConfig, ProcState, Symbols, EBADF, EINVAL};
+
+/// Boots every subsystem in a fixed order, so global addresses are
+/// deterministic across boots of the same configuration.
+pub fn boot_all(ctx: &Ctx, syms: &mut Symbols, config: KernelConfig) -> KResult<()> {
+    // The slab-statistics cells must exist before anything calls
+    // `Env::kzalloc`, so slab boots first.
+    slab::boot(ctx, syms)?;
+    let env = Env {
+        ctx,
+        syms,
+        config,
+    };
+    // `Env` borrows `syms` immutably; subsystems therefore allocate first
+    // and register after, via the returned symbol lists.
+    let mut pending: Vec<(&'static str, u64)> = Vec::new();
+    pending.extend(netdev::boot(&env)?);
+    pending.extend(packet::boot(&env)?);
+    pending.extend(fib6::boot(&env)?);
+    pending.extend(tcp_cong::boot(&env)?);
+    pending.extend(l2tp::boot(&env)?);
+    pending.extend(rhash::boot(&env)?);
+    pending.extend(configfs::boot(&env)?);
+    pending.extend(ext4::boot(&env)?);
+    pending.extend(blkdev::boot(&env)?);
+    pending.extend(tty::boot(&env)?);
+    pending.extend(sound::boot(&env)?);
+    drop(env);
+    for (name, addr) in pending {
+        syms.register(name, addr);
+    }
+    Ok(())
+}
+
+/// Routes one syscall to its subsystem handler.
+pub fn dispatch(env: &Env<'_>, proc: &mut ProcState, call: &Syscall) -> KResult<u64> {
+    match call {
+        Syscall::Socket { domain } => {
+            let sk = match domain {
+                Domain::Inet => tcp_cong::inet_socket(env)?,
+                Domain::Packet => packet::packet_socket(env)?,
+                Domain::RawV6 => netdev::rawv6_socket(env)?,
+                Domain::L2tp => l2tp::l2tp_socket(env)?,
+            };
+            Ok(proc.install_fd(FdObj {
+                kind: FdKind::Socket(*domain),
+                addr: sk,
+            }))
+        }
+        Syscall::Connect { sock, tunnel_id } => match proc.resolve_fd(*sock) {
+            Some(FdObj {
+                kind: FdKind::Socket(Domain::L2tp),
+                addr,
+            }) => l2tp::pppol2tp_connect(env, addr, u64::from(*tunnel_id)),
+            Some(FdObj {
+                kind: FdKind::Socket(Domain::Inet),
+                addr,
+            }) => fib6::inet_connect(env, addr),
+            Some(FdObj {
+                kind: FdKind::Socket(_),
+                ..
+            }) => Ok(0),
+            _ => Ok(EBADF),
+        },
+        Syscall::Sendmsg { sock, len } => match proc.resolve_fd(*sock) {
+            Some(FdObj {
+                kind: FdKind::Socket(Domain::L2tp),
+                addr,
+            }) => l2tp::l2tp_sendmsg(env, addr),
+            Some(FdObj {
+                kind: FdKind::Socket(Domain::RawV6),
+                addr,
+            }) => netdev::rawv6_send_hdrinc(env, addr, u64::from(*len)),
+            Some(FdObj {
+                kind: FdKind::Socket(Domain::Packet),
+                addr,
+            }) => packet::packet_sendmsg(env, addr, u64::from(*len)),
+            Some(FdObj {
+                kind: FdKind::Socket(Domain::Inet),
+                addr,
+            }) => tcp_cong::inet_sendmsg(env, addr),
+            _ => Ok(EBADF),
+        },
+        Syscall::Setsockopt { sock, opt, val } => match (proc.resolve_fd(*sock), opt) {
+            (
+                Some(FdObj {
+                    kind: FdKind::Socket(Domain::Packet),
+                    addr,
+                }),
+                SockOpt::PacketFanout,
+            ) => packet::fanout_add(env, addr),
+            (
+                Some(FdObj {
+                    kind: FdKind::Socket(Domain::Inet),
+                    addr,
+                }),
+                SockOpt::TcpCongestion,
+            ) => tcp_cong::set_default_congestion_control(env, addr, u64::from(*val)),
+            (Some(_), _) => Ok(EINVAL),
+            _ => Ok(EBADF),
+        },
+        Syscall::Getsockname { sock } => match proc.resolve_fd(*sock) {
+            Some(FdObj {
+                kind: FdKind::Socket(Domain::Packet),
+                addr,
+            }) => packet::packet_getname(env, addr),
+            Some(FdObj {
+                kind: FdKind::Socket(_),
+                ..
+            }) => Ok(0),
+            _ => Ok(EBADF),
+        },
+        Syscall::Ioctl { fd, cmd, arg } => {
+            let arg = u64::from(*arg);
+            let fdo = proc.resolve_fd(*fd);
+            match cmd {
+                IoctlCmd::SiocSifHwAddr => match fdo {
+                    Some(FdObj {
+                        kind: FdKind::Socket(_),
+                        ..
+                    }) => netdev::eth_commit_mac_addr_change(env, arg),
+                    _ => Ok(EBADF),
+                },
+                IoctlCmd::SiocGifHwAddr => match fdo {
+                    Some(FdObj {
+                        kind: FdKind::Socket(_),
+                        ..
+                    }) => netdev::dev_ifsioc_locked(env),
+                    _ => Ok(EBADF),
+                },
+                IoctlCmd::EthtoolSMac => match fdo {
+                    Some(FdObj {
+                        kind: FdKind::Socket(_),
+                        ..
+                    }) => netdev::e1000_set_mac(env, arg),
+                    _ => Ok(EBADF),
+                },
+                IoctlCmd::SiocSifMtu => match fdo {
+                    Some(FdObj {
+                        kind: FdKind::Socket(_),
+                        ..
+                    }) => netdev::dev_set_mtu(env, arg),
+                    _ => Ok(EBADF),
+                },
+                IoctlCmd::SiocAddRt => match fdo {
+                    Some(FdObj {
+                        kind: FdKind::Socket(_),
+                        ..
+                    }) => fib6::fib6_clean_node(env),
+                    _ => Ok(EBADF),
+                },
+                IoctlCmd::BlkBszSet => match fdo {
+                    Some(FdObj {
+                        kind: FdKind::BlockDev,
+                        ..
+                    }) => blkdev::set_blocksize(env, arg),
+                    _ => Ok(EBADF),
+                },
+                IoctlCmd::BlkRaSet => match fdo {
+                    Some(FdObj {
+                        kind: FdKind::BlockDev,
+                        ..
+                    }) => blkdev::blkdev_ioctl_ra_set(env, arg),
+                    _ => Ok(EBADF),
+                },
+                IoctlCmd::BlkSetSize => match fdo {
+                    Some(FdObj {
+                        kind: FdKind::BlockDev,
+                        ..
+                    }) => blkdev::blkdev_set_capacity(env, arg),
+                    _ => Ok(EBADF),
+                },
+                IoctlCmd::Ext4SwapBoot => match fdo {
+                    Some(FdObj {
+                        kind: FdKind::File(ino),
+                        ..
+                    }) => ext4::swap_inode_boot_loader(env, ino),
+                    _ => Ok(EBADF),
+                },
+                IoctlCmd::TiocSerConfig => match fdo {
+                    Some(FdObj {
+                        kind: FdKind::Tty,
+                        ..
+                    }) => tty::uart_do_autoconfig(env),
+                    _ => Ok(EBADF),
+                },
+                IoctlCmd::SndCtlElemAdd => match fdo {
+                    Some(FdObj {
+                        kind: FdKind::SndCtl,
+                        ..
+                    }) => sound::snd_ctl_elem_add(env, arg),
+                    _ => Ok(EBADF),
+                },
+            }
+        }
+        Syscall::Open { path } => match path {
+            Path::Ext4File(n) => {
+                let n = n % ext4::NUM_INODES;
+                ext4::ext4_file_open(env, n)?;
+                Ok(proc.install_fd(FdObj {
+                    kind: FdKind::File(n),
+                    addr: 0,
+                }))
+            }
+            Path::BlockDev => {
+                blkdev::blkdev_open(env)?;
+                Ok(proc.install_fd(FdObj {
+                    kind: FdKind::BlockDev,
+                    addr: 0,
+                }))
+            }
+            Path::Tty => {
+                tty::tty_port_open(env)?;
+                Ok(proc.install_fd(FdObj {
+                    kind: FdKind::Tty,
+                    addr: 0,
+                }))
+            }
+            Path::SndCtl => Ok(proc.install_fd(FdObj {
+                kind: FdKind::SndCtl,
+                addr: 0,
+            })),
+            Path::Configfs(i) => {
+                let i = i % configfs::NUM_ITEMS;
+                let r = configfs::configfs_lookup(env, i)?;
+                if r == crate::ENOENT {
+                    Ok(r)
+                } else {
+                    Ok(proc.install_fd(FdObj {
+                        kind: FdKind::Configfs(i),
+                        addr: 0,
+                    }))
+                }
+            }
+        },
+        Syscall::Close { fd } => {
+            let Some(obj) = proc.resolve_fd(*fd) else {
+                return Ok(EBADF);
+            };
+            // Invalidate the descriptor.
+            if let Some(v) = proc.resolve_val(*fd) {
+                if let Ok(i) = usize::try_from(v) {
+                    if i < proc.fds.len() {
+                        proc.fds[i] = None;
+                    }
+                }
+            }
+            match obj.kind {
+                FdKind::Socket(Domain::Packet) => packet::fanout_unlink(env, obj.addr),
+                FdKind::Tty => tty::tty_port_close(env),
+                _ => Ok(0),
+            }
+        }
+        Syscall::Read { fd, off } => match proc.resolve_fd(*fd) {
+            Some(FdObj {
+                kind: FdKind::File(ino),
+                ..
+            }) => ext4::ext4_file_read(env, ino, u64::from(*off)),
+            Some(FdObj {
+                kind: FdKind::BlockDev,
+                ..
+            }) => blkdev::do_mpage_readpage(env, u64::from(*off)),
+            Some(_) => Ok(0),
+            _ => Ok(EBADF),
+        },
+        Syscall::Write { fd, off, val } => match proc.resolve_fd(*fd) {
+            Some(FdObj {
+                kind: FdKind::File(ino),
+                ..
+            }) => ext4::ext4_file_write(env, ino, u64::from(*off), u64::from(*val)),
+            Some(FdObj {
+                kind: FdKind::BlockDev,
+                ..
+            }) => blkdev::blkdev_direct_write(env, u64::from(*off), u64::from(*val)),
+            Some(_) => Ok(0),
+            _ => Ok(EBADF),
+        },
+        Syscall::Fadvise { fd } => match proc.resolve_fd(*fd) {
+            Some(FdObj {
+                kind: FdKind::File(_) | FdKind::BlockDev,
+                ..
+            }) => blkdev::generic_fadvise(env),
+            Some(_) => Ok(EINVAL),
+            _ => Ok(EBADF),
+        },
+        Syscall::Msgget { key } => rhash::msgget(env, u64::from(*key)),
+        Syscall::Msgctl { id, cmd } => {
+            let Some(id) = proc.resolve_val(*id) else {
+                return Ok(EINVAL);
+            };
+            rhash::msgctl(env, id, *cmd)
+        }
+        Syscall::Msgsnd { id, mtype, val } => {
+            let Some(id) = proc.resolve_val(*id) else {
+                return Ok(EINVAL);
+            };
+            rhash::msgsnd(env, id, u64::from(*mtype), u64::from(*val))
+        }
+        Syscall::Msgrcv { id, mtype } => {
+            let Some(id) = proc.resolve_val(*id) else {
+                return Ok(EINVAL);
+            };
+            rhash::msgrcv(env, id, u64::from(*mtype))
+        }
+        Syscall::Mkdir { item } => configfs::configfs_mkdir(env, item % configfs::NUM_ITEMS),
+        Syscall::Rmdir { item } => configfs::configfs_rmdir(env, item % configfs::NUM_ITEMS),
+        Syscall::Mount => ext4::ext4_fill_super(env),
+    }
+}

@@ -1,0 +1,212 @@
+//! Lightweight in-process work queue — the stand-in for the paper's Redis
+//! distributed queue (§4.4.1: "We integrate the execution platform with a
+//! lightweight distributed queue so that concurrent tests can be distributed
+//! in a cloud platform").
+//!
+//! Locality is irrelevant to any result the paper reports; what matters is
+//! the shape: a producer enqueues concurrent-test jobs, a pool of workers
+//! (each owning its own executor/VM state) drains them, and results flow
+//! back tagged with their job index so aggregation is order-independent.
+
+use std::sync::Mutex;
+
+use crossbeam::channel;
+
+/// A multi-producer multi-consumer job queue with a typed result channel.
+///
+/// # Examples
+///
+/// ```
+/// use sb_queue::WorkQueue;
+///
+/// let q = WorkQueue::new();
+/// q.push(21u64);
+/// q.push(2u64);
+/// q.close();
+/// let doubled: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|j| j * 2).collect();
+/// assert_eq!(doubled, vec![42, 4]);
+/// ```
+pub struct WorkQueue<T> {
+    tx: Mutex<Option<channel::Sender<T>>>,
+    rx: channel::Receiver<T>,
+}
+
+impl<T> Default for WorkQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> WorkQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        let (tx, rx) = channel::unbounded();
+        WorkQueue {
+            tx: Mutex::new(Some(tx)),
+            rx,
+        }
+    }
+
+    /// Enqueues a job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue was already closed.
+    pub fn push(&self, job: T) {
+        self.tx
+            .lock()
+            .expect("queue poisoned")
+            .as_ref()
+            .expect("queue already closed")
+            .send(job)
+            .expect("queue receiver dropped");
+    }
+
+    /// Closes the queue: `pop` returns `None` once drained.
+    pub fn close(&self) {
+        self.tx.lock().expect("queue poisoned").take();
+    }
+
+    /// Dequeues the next job, blocking; `None` once closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+
+    /// Number of queued jobs right now.
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// True if no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+}
+
+/// Runs `jobs` across `workers` threads, each with its own worker-local
+/// state built by `init`, preserving job order in the returned results.
+///
+/// This is the campaign driver's fan-out primitive: each worker owns one
+/// executor (its "machine B"), jobs are PMC test units, and results are
+/// re-assembled in submission order so campaigns are reproducible regardless
+/// of worker scheduling.
+///
+/// # Examples
+///
+/// ```
+/// let results = sb_queue::run_jobs(vec![1u64, 2, 3, 4], 2, || 10u64, |state, j| *state + j);
+/// assert_eq!(results, vec![11, 12, 13, 14]);
+/// ```
+pub fn run_jobs<J, R, S>(
+    jobs: Vec<J>,
+    workers: usize,
+    init: impl Fn() -> S + Sync,
+    work: impl Fn(&mut S, J) -> R + Sync,
+) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+{
+    assert!(workers >= 1, "need at least one worker");
+    let n = jobs.len();
+    let queue: WorkQueue<(usize, J)> = WorkQueue::new();
+    for (i, j) in jobs.into_iter().enumerate() {
+        queue.push((i, j));
+    }
+    queue.close();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            let queue = &queue;
+            let res_tx = res_tx.clone();
+            let init = &init;
+            let work = &work;
+            scope.spawn(move |_| {
+                let mut state = init();
+                while let Some((i, job)) = queue.pop() {
+                    let r = work(&mut state, job);
+                    if res_tx.send((i, r)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+    })
+    .expect("worker thread panicked");
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    while let Ok((i, r)) = res_rx.try_recv() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker dropped a job"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn queue_delivers_in_order_single_consumer() {
+        let q = WorkQueue::new();
+        for i in 0..100 {
+            q.push(i);
+        }
+        q.close();
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_returns_none_after_close() {
+        let q: WorkQueue<u8> = WorkQueue::new();
+        q.close();
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn run_jobs_preserves_order_across_workers() {
+        let jobs: Vec<u64> = (0..500).collect();
+        let results = run_jobs(jobs, 8, || (), |(), j| j * j);
+        assert_eq!(results, (0..500).map(|j| j * j).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn run_jobs_initializes_state_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let results = run_jobs(
+            vec![(); 64],
+            4,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                0u32
+            },
+            |state, ()| {
+                *state += 1;
+                *state
+            },
+        );
+        assert_eq!(inits.load(Ordering::SeqCst), 4);
+        // Every job ran on some worker whose local counter advanced.
+        assert_eq!(results.len(), 64);
+        assert!(results.iter().all(|r| *r >= 1));
+    }
+
+    #[test]
+    fn run_jobs_handles_empty_input() {
+        let results: Vec<u8> = run_jobs(Vec::<u8>::new(), 3, || (), |(), j| j);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn run_jobs_with_single_worker_is_sequential() {
+        let results = run_jobs(vec![1, 2, 3], 1, || 0u64, |acc, j| {
+            *acc += j;
+            *acc
+        });
+        assert_eq!(results, vec![1, 3, 6]);
+    }
+}

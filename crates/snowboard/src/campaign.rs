@@ -1,0 +1,414 @@
+//! Concurrent test execution — Algorithm 2's driver loop (§4.4).
+//!
+//! For each selected PMC (in uncommon-first cluster order): pick one of its
+//! test pairs at random, build a concurrent test with the PMC as the
+//! scheduling hint, and run up to `NUMBER_OF_TRIALS` trials from the boot
+//! snapshot under [`SnowboardSched`]. Each trial reseeds the scheduler
+//! (`random.seed(SEED + trial)`), keeps the learned `flags`, feeds every
+//! execution to the bug detectors, and opportunistically adds incidental
+//! PMCs observed in the trial to the watch set (Algorithm 2 lines 26–27).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use sb_detect::Finding;
+use sb_kernel::{BootedKernel, Program};
+use sb_vmm::access::AccessKind;
+use sb_vmm::replay::{RecordingSched, Schedule};
+use sb_vmm::sched::SnowboardSched;
+use sb_vmm::site::Site;
+use sb_vmm::Executor;
+
+use crate::pmc::{Pmc, PmcId, PmcSet};
+use crate::triage::{triage, IssueRecord};
+
+/// Campaign configuration.
+#[derive(Clone, Debug)]
+pub struct CampaignCfg {
+    /// Base random seed.
+    pub seed: u64,
+    /// Maximum trials per PMC (the paper uses 64).
+    pub trials_per_pmc: u32,
+    /// Test budget: how many exemplar PMCs to execute.
+    pub max_tested_pmcs: usize,
+    /// Worker threads (each owns an executor — a "machine B").
+    pub workers: usize,
+    /// Stop a PMC's trials at the first detector finding.
+    pub stop_on_finding: bool,
+    /// Enable incidental-PMC pickup (Algorithm 2 lines 26–27).
+    pub incidental: bool,
+}
+
+impl Default for CampaignCfg {
+    fn default() -> Self {
+        CampaignCfg {
+            seed: 2021,
+            trials_per_pmc: 64,
+            max_tested_pmcs: usize::MAX,
+            workers: 4,
+            stop_on_finding: true,
+            incidental: true,
+        }
+    }
+}
+
+/// The outcome of testing one concurrent test (one PMC or one baseline
+/// pairing).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PmcTestOutcome {
+    /// The PMC under test (`None` for baseline pairings without hints).
+    pub pmc: Option<PmcId>,
+    /// The (writer test, reader test) pair executed.
+    pub pair: (u32, u32),
+    /// Trials actually run.
+    pub trials_run: u32,
+    /// Whether some trial actually exercised the predicted channel
+    /// (write-before-read with value flow) — the §5.3.2 accuracy signal.
+    pub exercised: bool,
+    /// Detector findings, deduplicated within this test.
+    pub findings: Vec<Finding>,
+    /// Engine steps consumed across all trials (cost accounting).
+    pub steps: u64,
+    /// Trial index of the first finding, if any.
+    pub first_finding_trial: Option<u32>,
+    /// A recorded schedule that reproduces the first finding
+    /// deterministically (replay with [`sb_vmm::replay::ReplaySched`]).
+    pub repro_schedule: Option<Schedule>,
+}
+
+/// Aggregated campaign results.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignReport {
+    /// Per-test outcomes, in test order.
+    pub outcomes: Vec<PmcTestOutcome>,
+    /// Distinct issues discovered, in discovery order, triaged against the
+    /// ground-truth registry.
+    pub issues: Vec<IssueRecord>,
+    /// Total engine steps across the campaign.
+    pub total_steps: u64,
+    /// Total executions (trials) across the campaign.
+    pub executions: u64,
+}
+
+impl CampaignReport {
+    /// Number of concurrent tests executed.
+    pub fn tested(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Number of tests that exercised their predicted channel.
+    pub fn exercised(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.exercised).count()
+    }
+
+    /// PMC accuracy (§5.3.2): exercised / tested.
+    pub fn accuracy(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            0.0
+        } else {
+            self.exercised() as f64 / self.tested() as f64
+        }
+    }
+
+    /// The distinct ground-truth bug ids found.
+    pub fn bug_ids(&self) -> Vec<u8> {
+        let mut ids: Vec<u8> = self.issues.iter().filter_map(|i| i.bug_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+/// Index from write-side instruction to PMC ids, used for fast incidental
+/// PMC lookup during trials.
+pub struct IncidentalIndex {
+    by_write_site: HashMap<Site, Vec<PmcId>>,
+}
+
+impl IncidentalIndex {
+    /// Builds the index over a PMC set.
+    pub fn build(set: &PmcSet) -> Self {
+        let mut by_write_site: HashMap<Site, Vec<PmcId>> = HashMap::new();
+        for (id, p) in set.pmcs.iter().enumerate() {
+            by_write_site
+                .entry(p.key.w.ins)
+                .or_default()
+                .push(id as PmcId);
+        }
+        IncidentalIndex { by_write_site }
+    }
+}
+
+/// Checks whether a trial trace exercised the PMC: a writer-thread write
+/// matching the write side, followed by a reader-thread read matching the
+/// read side that observed the written value over the overlap.
+pub fn channel_exercised(trace: &[sb_vmm::Access], pmc: &Pmc) -> bool {
+    let [hw, hr] = pmc.hints();
+    let writes: Vec<&sb_vmm::Access> = trace
+        .iter()
+        .filter(|a| a.thread == 0 && hw.matches(a))
+        .collect();
+    if writes.is_empty() {
+        return false;
+    }
+    trace
+        .iter()
+        .filter(|r| r.thread == 1 && hr.matches(r))
+        .any(|r| {
+            writes.iter().any(|w| {
+                if w.seq >= r.seq {
+                    return false;
+                }
+                match sb_vmm::access::range_overlap(w.addr, w.len, r.addr, r.len) {
+                    Some((start, len)) => {
+                        w.project_value(start, len) == r.project_value(start, len)
+                    }
+                    None => false,
+                }
+            })
+        })
+}
+
+/// Scans a trial trace for PMCs (other than those already watched) whose
+/// write *and* read sides both appeared, returning one at random.
+fn find_incidental_pmc(
+    trace: &[sb_vmm::Access],
+    set: &PmcSet,
+    index: &IncidentalIndex,
+    watched: &mut std::collections::HashSet<PmcId>,
+    rng: &mut StdRng,
+) -> Option<PmcId> {
+    const MAX_CANDIDATES: usize = 256;
+    let mut candidates: Vec<PmcId> = Vec::new();
+    let mut seen_sites = std::collections::HashSet::new();
+    for a in trace.iter().filter(|a| a.kind == AccessKind::Write) {
+        if !seen_sites.insert(a.site) {
+            continue;
+        }
+        if let Some(ids) = index.by_write_site.get(&a.site) {
+            for id in ids {
+                if candidates.len() >= MAX_CANDIDATES {
+                    break;
+                }
+                if !watched.contains(id) {
+                    candidates.push(*id);
+                }
+            }
+        }
+    }
+    candidates.retain(|id| {
+        let p = set.get(*id);
+        let [hw, hr] = p.hints();
+        trace.iter().any(|a| hw.matches(a)) && trace.iter().any(|a| hr.matches(a))
+    });
+    let pick = candidates.choose(rng).copied();
+    if let Some(id) = pick {
+        watched.insert(id);
+    }
+    pick
+}
+
+/// Tests one PMC: the inner loop of Algorithm 2.
+#[allow(clippy::too_many_arguments)]
+pub fn test_one_pmc(
+    exec: &mut Executor,
+    booted: &BootedKernel,
+    corpus: &[Program],
+    set: &PmcSet,
+    index: &IncidentalIndex,
+    id: PmcId,
+    seed: u64,
+    cfg: &CampaignCfg,
+) -> PmcTestOutcome {
+    let pmc = set.get(id);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pair = *pmc.pairs.choose(&mut rng).expect("PMC without test pairs");
+    let wprog = corpus[pair.0 as usize].clone();
+    let rprog = corpus[pair.1 as usize].clone();
+    let mut sched = SnowboardSched::new(seed, pmc.hints());
+    let mut watched: std::collections::HashSet<PmcId> = [id].into_iter().collect();
+    let mut out = PmcTestOutcome {
+        pmc: Some(id),
+        pair,
+        trials_run: 0,
+        exercised: false,
+        findings: Vec::new(),
+        steps: 0,
+        first_finding_trial: None,
+        repro_schedule: None,
+    };
+    let mut dedup = std::collections::HashSet::new();
+    for trial in 0..cfg.trials_per_pmc {
+        // Checkpoint the scheduler (flags included) so a finding trial can
+        // be re-run under a recorder for deterministic reproduction.
+        let sched_checkpoint = sched.clone();
+        sched.begin_trial(seed.wrapping_add(u64::from(trial)));
+        let r = exec.run(
+            booted.snapshot.clone(),
+            vec![
+                booted.kernel.process_job(wprog.clone()),
+                booted.kernel.process_job(rprog.clone()),
+            ],
+            &mut sched,
+        );
+        out.trials_run += 1;
+        out.steps += r.report.steps;
+        out.exercised |= channel_exercised(&r.report.trace, pmc);
+        let findings = sb_detect::analyze(&r.report);
+        let mut found_new = false;
+        for f in findings {
+            if dedup.insert(f.dedup_key()) {
+                out.findings.push(f);
+                found_new = true;
+            }
+        }
+        if found_new && out.first_finding_trial.is_none() {
+            out.first_finding_trial = Some(trial);
+            // Re-run this exact trial from the checkpoint under a recorder
+            // to capture a portable reproduction schedule (§6).
+            let mut replica = sched_checkpoint;
+            replica.begin_trial(seed.wrapping_add(u64::from(trial)));
+            let mut recorder = RecordingSched::new(replica);
+            let _ = exec.run(
+                booted.snapshot.clone(),
+                vec![
+                    booted.kernel.process_job(wprog.clone()),
+                    booted.kernel.process_job(rprog.clone()),
+                ],
+                &mut recorder,
+            );
+            let (schedule, _) = recorder.finish();
+            out.repro_schedule = Some(schedule);
+        }
+        if found_new && cfg.stop_on_finding {
+            break;
+        }
+        if cfg.incidental {
+            if let Some(new_id) =
+                find_incidental_pmc(&r.report.trace, set, index, &mut watched, &mut rng)
+            {
+                sched.add_pmc(set.get(new_id).hints());
+            }
+        }
+    }
+    out
+}
+
+/// Runs a full campaign over an ordered exemplar list.
+pub fn run_campaign(
+    booted: &BootedKernel,
+    corpus: &[Program],
+    set: &PmcSet,
+    exemplars: &[PmcId],
+    cfg: &CampaignCfg,
+) -> CampaignReport {
+    let budgeted: Vec<PmcId> = exemplars
+        .iter()
+        .copied()
+        .take(cfg.max_tested_pmcs)
+        .collect();
+    let index = Arc::new(IncidentalIndex::build(set));
+    let cfg_arc = cfg.clone();
+    let outcomes: Vec<PmcTestOutcome> = sb_queue::run_jobs(
+        budgeted.iter().copied().enumerate().collect(),
+        cfg.workers,
+        || Executor::new(2),
+        |exec, (i, id)| {
+            let seed = cfg_arc
+                .seed
+                .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            test_one_pmc(exec, booted, corpus, set, &index, id, seed, &cfg_arc)
+        },
+    );
+    aggregate(outcomes)
+}
+
+/// Aggregates per-test outcomes into a campaign report (shared with the
+/// baselines).
+pub fn aggregate(outcomes: Vec<PmcTestOutcome>) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    let mut seen = std::collections::HashSet::new();
+    let mut cumulative_steps = 0u64;
+    for (i, o) in outcomes.iter().enumerate() {
+        cumulative_steps += o.steps;
+        report.executions += u64::from(o.trials_run);
+        for f in &o.findings {
+            if seen.insert(f.dedup_key()) {
+                report.issues.push(IssueRecord {
+                    bug_id: triage(f),
+                    key: f.dedup_key(),
+                    example: f.clone(),
+                    found_after_tests: i + 1,
+                    found_after_steps: cumulative_steps,
+                });
+            }
+        }
+    }
+    report.total_steps = cumulative_steps;
+    report.outcomes = outcomes;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(
+        pair: (u32, u32),
+        trials: u32,
+        steps: u64,
+        exercised: bool,
+        findings: Vec<Finding>,
+    ) -> PmcTestOutcome {
+        PmcTestOutcome {
+            pmc: None,
+            pair,
+            trials_run: trials,
+            exercised,
+            findings,
+            steps,
+            first_finding_trial: None,
+            repro_schedule: None,
+        }
+    }
+
+    #[test]
+    fn aggregate_dedups_across_tests_and_keeps_discovery_order() {
+        let race = Finding::DataRace {
+            write_site: "cache_alloc_refill:stat_write".into(),
+            other_site: "cache_alloc_refill:stat_read".into(),
+            addr: 0x40,
+        };
+        let panic = Finding::KernelPanic {
+            msg: "BUG: kernel NULL pointer dereference at bh_lock_sock:acquire".into(),
+        };
+        let report = aggregate(vec![
+            outcome((0, 1), 4, 100, true, vec![race.clone()]),
+            outcome((2, 3), 4, 100, false, vec![race.clone(), panic.clone()]),
+            outcome((4, 5), 4, 100, false, vec![panic]),
+        ]);
+        assert_eq!(report.issues.len(), 2, "duplicates collapse");
+        assert_eq!(report.issues[0].bug_id, Some(13));
+        assert_eq!(report.issues[0].found_after_tests, 1);
+        assert_eq!(report.issues[1].bug_id, Some(12));
+        assert_eq!(report.issues[1].found_after_tests, 2);
+        assert_eq!(report.issues[1].found_after_steps, 200);
+        assert_eq!(report.executions, 12);
+        assert_eq!(report.total_steps, 300);
+        assert_eq!(report.bug_ids(), vec![12, 13]);
+        assert!((report.accuracy() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_campaign_reports_cleanly() {
+        let report = aggregate(vec![]);
+        assert_eq!(report.tested(), 0);
+        assert_eq!(report.accuracy(), 0.0);
+        assert!(report.bug_ids().is_empty());
+    }
+}

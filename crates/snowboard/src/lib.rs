@@ -1,0 +1,168 @@
+//! Snowboard: finding kernel concurrency bugs through systematic
+//! inter-thread communication analysis — a Rust reproduction of the
+//! SOSP 2021 paper.
+//!
+//! The pipeline mirrors Figure 2 of the paper:
+//!
+//! 1. **Sequential test generation and profiling** (§4.1) — a
+//!    coverage-distilled corpus from [`sb_fuzz`], each test profiled from
+//!    the boot snapshot ([`profile`]).
+//! 2. **PMC identification** (§4.2, Algorithm 1) — [`pmc::identify`] finds
+//!    every write/read pair with overlapping ranges and differing values.
+//! 3. **PMC selection** (§4.3, Table 1) — [`cluster`] implements the eight
+//!    clustering strategies; [`select`] orders clusters uncommon-first and
+//!    picks exemplars.
+//! 4. **Concurrent test execution** (§4.4, Algorithm 2) — [`campaign`]
+//!    executes each exemplar's test pair under the PMC-hinted scheduler
+//!    with the stock detectors from [`sb_detect`].
+//!
+//! [`baseline`] provides the Random/Duplicate pairing baselines,
+//! [`metrics`] the §5 measurements, and [`triage`] the ground-truth
+//! matching that stands in for the paper's manual inspection.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use snowboard::{Pipeline, PipelineCfg};
+//! use snowboard::cluster::Strategy;
+//! use snowboard::select::ClusterOrder;
+//! use sb_kernel::KernelConfig;
+//!
+//! let pipeline = Pipeline::prepare(KernelConfig::v5_12_rc3(), PipelineCfg::default());
+//! let exemplars = pipeline.exemplars(Strategy::SInsPair, ClusterOrder::UncommonFirst);
+//! let report = pipeline.campaign(&exemplars, &Default::default());
+//! println!("found: {:?}", report.bug_ids());
+//! ```
+
+pub mod baseline;
+pub mod campaign;
+pub mod cluster;
+pub mod diagnose;
+pub mod metrics;
+pub mod multi;
+pub mod pmc;
+pub mod profile;
+pub mod select;
+pub mod triage;
+
+use sb_kernel::{boot, BootedKernel, KernelConfig, Program};
+
+pub use campaign::{CampaignCfg, CampaignReport};
+pub use cluster::Strategy;
+pub use pmc::{Pmc, PmcId, PmcSet};
+pub use profile::SeqProfile;
+
+/// Configuration for pipeline preparation (stages 1–2).
+#[derive(Clone, Debug)]
+pub struct PipelineCfg {
+    /// Fuzzing seed.
+    pub seed: u64,
+    /// Distilled corpus size target.
+    pub corpus_target: usize,
+    /// Fuzzing candidate budget.
+    pub fuzz_budget: u64,
+    /// Worker threads for profiling.
+    pub workers: usize,
+}
+
+impl Default for PipelineCfg {
+    fn default() -> Self {
+        PipelineCfg {
+            seed: 2021,
+            corpus_target: 120,
+            fuzz_budget: 2_000,
+            workers: 4,
+        }
+    }
+}
+
+/// The prepared pipeline: booted kernel, corpus, profiles, and PMC set.
+pub struct Pipeline {
+    /// The booted kernel and snapshot.
+    pub booted: BootedKernel,
+    /// The sequential test corpus (index = test id).
+    pub corpus: Vec<Program>,
+    /// Per-test memory-access profiles.
+    pub profiles: Vec<SeqProfile>,
+    /// The identified PMC universe.
+    pub pmcs: PmcSet,
+    /// Preparation statistics.
+    pub stats: PrepStats,
+}
+
+/// Preparation-stage statistics (the §5.4 pipeline-performance numbers).
+#[derive(Clone, Debug, Default)]
+pub struct PrepStats {
+    /// Fuzzing executions performed.
+    pub fuzz_executed: u64,
+    /// Corpus tests kept.
+    pub corpus_kept: u64,
+    /// Distinct coverage edges.
+    pub edges: usize,
+    /// Total shared accesses profiled.
+    pub shared_accesses: usize,
+    /// PMCs identified.
+    pub pmcs_identified: usize,
+    /// Wall time of corpus building.
+    pub fuzz_time: std::time::Duration,
+    /// Wall time of profiling.
+    pub profile_time: std::time::Duration,
+    /// Wall time of PMC identification.
+    pub identify_time: std::time::Duration,
+}
+
+impl Pipeline {
+    /// Runs stages 1–2: boot, fuzz a corpus, profile it, identify PMCs.
+    pub fn prepare(config: KernelConfig, cfg: PipelineCfg) -> Self {
+        let booted = boot(config);
+        let t0 = std::time::Instant::now();
+        let (corpus, fuzz_stats) =
+            sb_fuzz::build_corpus(&booted, cfg.seed, cfg.corpus_target, cfg.fuzz_budget);
+        let fuzz_time = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let profiles = profile::profile_corpus(&booted, &corpus, cfg.workers);
+        let profile_time = t1.elapsed();
+        let t2 = std::time::Instant::now();
+        let pmcs = pmc::identify(&profiles);
+        let identify_time = t2.elapsed();
+        let stats = PrepStats {
+            fuzz_executed: fuzz_stats.executed,
+            corpus_kept: fuzz_stats.kept,
+            edges: fuzz_stats.edges,
+            shared_accesses: profiles.iter().map(|p| p.accesses.len()).sum(),
+            pmcs_identified: pmcs.len(),
+            fuzz_time,
+            profile_time,
+            identify_time,
+        };
+        Pipeline {
+            booted,
+            corpus,
+            profiles,
+            pmcs,
+            stats,
+        }
+    }
+
+    /// Stage 3: ordered exemplars for one strategy.
+    pub fn exemplars(&self, strategy: Strategy, order: select::ClusterOrder) -> Vec<PmcId> {
+        select::exemplars(
+            &self.pmcs,
+            strategy,
+            order,
+            0xC1A5_5E00 ^ strategy as u64,
+            &std::collections::HashSet::new(),
+        )
+    }
+
+    /// Stage 4: run a campaign over an exemplar list.
+    pub fn campaign(&self, exemplars: &[PmcId], cfg: &CampaignCfg) -> CampaignReport {
+        campaign::run_campaign(&self.booted, &self.corpus, &self.pmcs, exemplars, cfg)
+    }
+
+    /// Number of clusters each strategy induces (Table 3's "Exemplar PMCs"
+    /// column).
+    pub fn cluster_count(&self, strategy: Strategy) -> usize {
+        cluster::cluster(&self.pmcs, strategy).len()
+    }
+}

@@ -1,0 +1,220 @@
+//! Evaluation metrics: §5.3.2's accuracy/precision and §5.4's
+//! interleavings-to-expose comparison between Snowboard and SKI.
+
+use sb_kernel::{BootedKernel, Program};
+use sb_vmm::sched::{RandomSched, Scheduler, SkiSched, SnowboardSched};
+use sb_vmm::Executor;
+
+use sb_detect::Finding;
+
+use crate::pmc::{Pmc, PmcSet};
+
+/// Which scheduler drives the interleaving search.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SchedKind {
+    /// Algorithm 2 with precise PMC hints and learned flags.
+    Snowboard,
+    /// SKI: yields at PMC *instructions* regardless of memory target.
+    Ski,
+    /// Unguided random preemption.
+    Random,
+}
+
+impl std::fmt::Display for SchedKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedKind::Snowboard => write!(f, "Snowboard"),
+            SchedKind::Ski => write!(f, "SKI"),
+            SchedKind::Random => write!(f, "Random"),
+        }
+    }
+}
+
+/// Result of an interleavings-to-expose measurement.
+#[derive(Clone, Debug)]
+pub struct ExposeResult {
+    /// Interleavings (trials) executed until the predicate first held.
+    pub interleavings: u32,
+    /// Total engine steps consumed.
+    pub steps: u64,
+}
+
+/// Runs trials under `kind` until `hit` returns true for some trial's
+/// findings, or `max_trials` is exhausted.
+///
+/// This is the §5.4 experiment: for the bug-triggering concurrent tests,
+/// SKI "requires 84 times more interleavings than Snowboard on average";
+/// the gap comes solely from scheduling, which is exactly what varies here.
+#[allow(clippy::too_many_arguments)]
+pub fn interleavings_to_expose(
+    exec: &mut Executor,
+    booted: &BootedKernel,
+    writer: &Program,
+    reader: &Program,
+    pmc: &Pmc,
+    kind: SchedKind,
+    seed: u64,
+    max_trials: u32,
+    hit: impl Fn(&[Finding]) -> bool,
+) -> Option<ExposeResult> {
+    let hints = pmc.hints();
+    let mut snowboard = SnowboardSched::new(seed, hints);
+    let mut ski = SkiSched::new(seed, hints.iter().map(|h| h.site));
+    let mut steps = 0u64;
+    for trial in 0..max_trials {
+        let trial_seed = seed.wrapping_add(u64::from(trial));
+        let mut random;
+        let sched: &mut dyn Scheduler = match kind {
+            SchedKind::Snowboard => {
+                snowboard.begin_trial(trial_seed);
+                &mut snowboard
+            }
+            SchedKind::Ski => {
+                ski.begin_trial(trial_seed);
+                &mut ski
+            }
+            SchedKind::Random => {
+                random = RandomSched::new(trial_seed, 0.005);
+                &mut random
+            }
+        };
+        let r = exec.run(
+            booted.snapshot.clone(),
+            vec![
+                booted.kernel.process_job(writer.clone()),
+                booted.kernel.process_job(reader.clone()),
+            ],
+            sched,
+        );
+        steps += r.report.steps;
+        let findings = sb_detect::analyze(&r.report);
+        if hit(&findings) {
+            return Some(ExposeResult {
+                interleavings: trial + 1,
+                steps,
+            });
+        }
+    }
+    None
+}
+
+/// Convenience predicate: any finding triaging to `bug_id`.
+pub fn hits_bug(bug_id: u8) -> impl Fn(&[Finding]) -> bool {
+    move |fs: &[Finding]| fs.iter().any(|f| crate::triage::triage(f) == Some(bug_id))
+}
+
+/// Aggregate statistics from a throughput measurement.
+#[derive(Clone, Debug)]
+pub struct ThroughputStats {
+    /// Executions performed.
+    pub executions: u32,
+    /// Total engine steps.
+    pub steps: u64,
+    /// Total vCPU switches — the quantity §5.4 attributes SKI's slowdown
+    /// to ("SKI's execution of more vCPU switches than Snowboard").
+    pub switches: u64,
+    /// Wall-clock time.
+    pub elapsed: std::time::Duration,
+}
+
+/// Measures raw execution throughput for `n` concurrent executions of a
+/// test pair under a given scheduler kind. Used by the §5.4 throughput
+/// comparison.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_throughput(
+    exec: &mut Executor,
+    booted: &BootedKernel,
+    writer: &Program,
+    reader: &Program,
+    set_hints: &Pmc,
+    kind: SchedKind,
+    seed: u64,
+    n: u32,
+) -> ThroughputStats {
+    let start = std::time::Instant::now();
+    let mut steps = 0u64;
+    let mut switches = 0u64;
+    let hints = set_hints.hints();
+    let mut snowboard = SnowboardSched::new(seed, hints);
+    let mut ski = SkiSched::new(seed, hints.iter().map(|h| h.site));
+    for trial in 0..n {
+        let trial_seed = seed.wrapping_add(u64::from(trial));
+        let mut random;
+        let sched: &mut dyn Scheduler = match kind {
+            SchedKind::Snowboard => {
+                snowboard.begin_trial(trial_seed);
+                &mut snowboard
+            }
+            SchedKind::Ski => {
+                ski.begin_trial(trial_seed);
+                &mut ski
+            }
+            SchedKind::Random => {
+                random = RandomSched::new(trial_seed, 0.005);
+                &mut random
+            }
+        };
+        let r = exec.run(
+            booted.snapshot.clone(),
+            vec![
+                booted.kernel.process_job(writer.clone()),
+                booted.kernel.process_job(reader.clone()),
+            ],
+            sched,
+        );
+        steps += r.report.steps;
+        switches += r.report.switches;
+    }
+    ThroughputStats {
+        executions: n,
+        steps,
+        switches,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Picks the PMC whose hint *instructions* dynamically touch the most
+/// distinct addresses across the profiles — the worst case for SKI, which
+/// yields at those instructions "regardless of memory targets" (§5.4),
+/// and the representative case for the throughput comparison.
+pub fn hottest_pmc<'a>(
+    set: &'a PmcSet,
+    profiles: &[crate::profile::SeqProfile],
+) -> Option<(crate::pmc::PmcId, &'a Pmc)> {
+    use std::collections::{HashMap, HashSet};
+    let mut addrs_of_site: HashMap<sb_vmm::Site, HashSet<u64>> = HashMap::new();
+    for p in profiles {
+        for a in &p.accesses {
+            addrs_of_site.entry(a.site).or_default().insert(a.addr);
+        }
+    }
+    let score = |p: &Pmc| {
+        let w = addrs_of_site.get(&p.key.w.ins).map(HashSet::len).unwrap_or(0);
+        let r = addrs_of_site.get(&p.key.r.ins).map(HashSet::len).unwrap_or(0);
+        w + r
+    };
+    set.pmcs
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, p)| score(p))
+        .map(|(id, p)| (id as crate::pmc::PmcId, p))
+}
+
+/// Finds the PMC in `set` that best matches a (write-site, read-site)
+/// function-name pair — a convenience for wiring known bugs to their PMC in
+/// examples and benches.
+pub fn find_pmc_by_sites<'a>(
+    set: &'a PmcSet,
+    write_fn: &str,
+    read_fn: &str,
+) -> Option<(crate::pmc::PmcId, &'a Pmc)> {
+    set.pmcs.iter().enumerate().find_map(|(id, p)| {
+        let w = p.key.w.ins.display_name();
+        let r = p.key.r.ins.display_name();
+        if w.starts_with(write_fn) && r.starts_with(read_fn) {
+            Some((id as crate::pmc::PmcId, p))
+        } else {
+            None
+        }
+    })
+}

@@ -1,0 +1,422 @@
+//! PMC identification — Algorithm 1 of the paper (§4.2).
+//!
+//! All profiled shared accesses are indexed by memory range in an ordered
+//! nested index (outer order: start address; nested: range length; then
+//! instruction — §4.2.1). Every (write, read) pair with overlapping ranges
+//! whose values *differ over the overlap* is a potential memory
+//! communication. A PMC is keyed by the features of both accesses
+//! (instruction, memory range, value); multiple test pairs may map to the
+//! same PMC key (Algorithm 1 line 15).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use sb_vmm::access::{range_overlap, AccessKind};
+use sb_vmm::sched::HintAccess;
+use sb_vmm::site::Site;
+
+use crate::profile::SeqProfile;
+
+/// One side (read or write) of a PMC: the features Algorithm 1 collects.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct SideKey {
+    /// Instruction identity (`ins` in Table 1).
+    pub ins: Site,
+    /// Memory-range start (`addr`).
+    pub addr: u64,
+    /// Memory-range length in bytes (`byte`).
+    pub len: u8,
+    /// Value read/written (`value`), projected to the access's own range.
+    pub value: u64,
+}
+
+/// A PMC key: the write side and the read side.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct PmcKey {
+    /// The writer's access features.
+    pub w: SideKey,
+    /// The reader's access features.
+    pub r: SideKey,
+}
+
+/// Identifier of a PMC within a [`PmcSet`].
+pub type PmcId = u32;
+
+/// A PMC plus the sequential-test pairs that exhibit it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Pmc {
+    /// Feature key.
+    pub key: PmcKey,
+    /// True when the read access is the first of a double fetch
+    /// (`df_leader`, §4.3).
+    pub df_leader: bool,
+    /// (writer test, reader test) pairs exhibiting this PMC, deduplicated.
+    pub pairs: Vec<(u32, u32)>,
+}
+
+impl Pmc {
+    /// The scheduler hint patterns for this PMC (write side, read side).
+    pub fn hints(&self) -> [HintAccess; 2] {
+        [
+            HintAccess {
+                site: self.key.w.ins,
+                kind: AccessKind::Write,
+                addr: self.key.w.addr,
+                len: self.key.w.len,
+            },
+            HintAccess {
+                site: self.key.r.ins,
+                kind: AccessKind::Read,
+                addr: self.key.r.addr,
+                len: self.key.r.len,
+            },
+        ]
+    }
+}
+
+/// The identified PMC universe for one corpus.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PmcSet {
+    /// All PMCs; a [`PmcId`] is an index into this vector.
+    pub pmcs: Vec<Pmc>,
+}
+
+impl PmcSet {
+    /// Number of identified PMCs.
+    pub fn len(&self) -> usize {
+        self.pmcs.len()
+    }
+
+    /// True if no PMCs were identified.
+    pub fn is_empty(&self) -> bool {
+        self.pmcs.is_empty()
+    }
+
+    /// The PMC with id `id`.
+    pub fn get(&self, id: PmcId) -> &Pmc {
+        &self.pmcs[id as usize]
+    }
+}
+
+/// One deduplicated access record used during identification.
+#[derive(Copy, Clone, Debug)]
+struct Rec {
+    test: u32,
+    ins: Site,
+    addr: u64,
+    len: u8,
+    value: u64,
+    df_leader: bool,
+}
+
+/// Limits stored pairs per PMC; the paper stores all, but popular PMCs
+/// (e.g. allocator counters) would otherwise dominate memory without
+/// adding information — any pair is an equally valid exemplar source.
+const MAX_PAIRS_PER_PMC: usize = 32;
+
+/// Computes, per profile, the trace indices (into `accesses`) of df_leader
+/// reads: a read followed by a later read of the same range by a
+/// *different* instruction, with no intervening write to that range and the
+/// same value (§4.3, S-CH-DOUBLE).
+pub fn df_leaders(profile: &SeqProfile) -> HashSet<usize> {
+    let mut leaders = HashSet::new();
+    // Per exact range: (index, site, value) of the last read, and whether a
+    // write intervened since.
+    let mut last_read: HashMap<(u64, u8), (usize, Site, u64)> = HashMap::new();
+    for (i, a) in profile.accesses.iter().enumerate() {
+        match a.kind {
+            AccessKind::Write => {
+                // A write invalidates pending first-reads on any
+                // overlapping range.
+                last_read.retain(|(addr, len), _| {
+                    range_overlap(*addr, *len, a.addr, a.len).is_none()
+                });
+            }
+            AccessKind::Read => {
+                let key = (a.addr, a.len);
+                if let Some((first_idx, first_site, first_val)) = last_read.get(&key).copied() {
+                    if first_site != a.site && first_val == a.value {
+                        leaders.insert(first_idx);
+                    }
+                }
+                last_read.insert(key, (i, a.site, a.value));
+            }
+        }
+    }
+    leaders
+}
+
+/// Runs Algorithm 1 over the profiles, producing the PMC set.
+pub fn identify(profiles: &[SeqProfile]) -> PmcSet {
+    // Index all accesses (Algorithm 1 lines 1–5), deduplicating identical
+    // (test, ins, addr, len, value) records: repeated identical accesses by
+    // one test add no new PMCs.
+    let mut writes: BTreeMap<u64, BTreeMap<u8, Vec<Rec>>> = BTreeMap::new();
+    let mut reads: Vec<Rec> = Vec::new();
+    let mut seen_w: HashSet<(u32, u64, u64, u8, u64)> = HashSet::new();
+    let mut seen_r: HashSet<(u32, u64, u64, u8, u64)> = HashSet::new();
+    for p in profiles {
+        let leaders = df_leaders(p);
+        for (i, a) in p.accesses.iter().enumerate() {
+            let sig = (p.test, a.site.0, a.addr, a.len, a.value);
+            match a.kind {
+                AccessKind::Write => {
+                    if seen_w.insert(sig) {
+                        writes.entry(a.addr).or_default().entry(a.len).or_default().push(Rec {
+                            test: p.test,
+                            ins: a.site,
+                            addr: a.addr,
+                            len: a.len,
+                            value: a.value,
+                            df_leader: false,
+                        });
+                    }
+                }
+                AccessKind::Read => {
+                    let df = leaders.contains(&i);
+                    // A df_leader read and a plain read with the same
+                    // signature must both survive; fold df into the dedup
+                    // signature's value slot via a separate set entry.
+                    if seen_r.insert(sig) || df {
+                        reads.push(Rec {
+                            test: p.test,
+                            ins: a.site,
+                            addr: a.addr,
+                            len: a.len,
+                            value: a.value,
+                            df_leader: df,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Scan overlaps (lines 6–15): for each read, range-query the ordered
+    // nested write index for starts in [addr-7, end).
+    let mut set = PmcSet::default();
+    let mut index: HashMap<PmcKey, PmcId> = HashMap::new();
+    let mut pair_seen: HashMap<PmcId, HashSet<(u32, u32)>> = HashMap::new();
+    for r in &reads {
+        let lo = r.addr.saturating_sub(7);
+        let hi = r.addr + u64::from(r.len); // Exclusive upper bound on write starts.
+        for (_wa, by_len) in writes.range(lo..hi) {
+            for (_wl, recs) in by_len.iter() {
+                for w in recs {
+                    let Some((ostart, olen)) = range_overlap(w.addr, w.len, r.addr, r.len) else {
+                        continue;
+                    };
+                    // project_value (lines 9–10): compare over the overlap.
+                    let wv = project(w.value, w.addr, ostart, olen);
+                    let rv = project(r.value, r.addr, ostart, olen);
+                    if wv == rv {
+                        continue;
+                    }
+                    let key = PmcKey {
+                        w: SideKey {
+                            ins: w.ins,
+                            addr: w.addr,
+                            len: w.len,
+                            value: w.value,
+                        },
+                        r: SideKey {
+                            ins: r.ins,
+                            addr: r.addr,
+                            len: r.len,
+                            value: r.value,
+                        },
+                    };
+                    let id = *index.entry(key).or_insert_with(|| {
+                        set.pmcs.push(Pmc {
+                            key,
+                            df_leader: r.df_leader,
+                            pairs: Vec::new(),
+                        });
+                        (set.pmcs.len() - 1) as PmcId
+                    });
+                    let pmc = &mut set.pmcs[id as usize];
+                    pmc.df_leader |= r.df_leader;
+                    if pmc.pairs.len() < MAX_PAIRS_PER_PMC {
+                        let pair = (w.test, r.test);
+                        if pair_seen.entry(id).or_default().insert(pair) {
+                            pmc.pairs.push(pair);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    set
+}
+
+/// Projects `value` (stored at `base`) onto the `len`-byte window starting
+/// at `start` (little-endian), mirroring `Access::project_value`.
+fn project(value: u64, base: u64, start: u64, len: u8) -> u64 {
+    let shift = (start - base) * 8;
+    let raw = value >> shift;
+    if len >= 8 {
+        raw
+    } else {
+        raw & ((1u64 << (u64::from(len) * 8)) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_vmm::access::Access;
+    use sb_vmm::site;
+
+    fn prof(test: u32, accesses: Vec<(&str, AccessKind, u64, u8, u64)>) -> SeqProfile {
+        SeqProfile {
+            test,
+            accesses: accesses
+                .into_iter()
+                .enumerate()
+                .map(|(i, (name, kind, addr, len, value))| Access {
+                    seq: i as u64,
+                    thread: 0,
+                    site: site!(name),
+                    kind,
+                    addr,
+                    len,
+                    value,
+                    atomic: false,
+                    locks: vec![],
+                    rcu_depth: 0,
+                })
+                .collect(),
+            steps: 0,
+        }
+    }
+
+    use AccessKind::{Read, Write};
+
+    #[test]
+    fn write_read_with_different_values_is_a_pmc() {
+        let p0 = prof(0, vec![("w:ins", Write, 0x2000, 8, 42)]);
+        let p1 = prof(1, vec![("r:ins", Read, 0x2000, 8, 0)]);
+        let set = identify(&[p0, p1]);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.pmcs[0].pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn equal_values_are_not_a_pmc() {
+        // Condition (4) of §2.2: the write must change what the reader
+        // would have seen.
+        let p0 = prof(0, vec![("w:ins", Write, 0x2000, 8, 7)]);
+        let p1 = prof(1, vec![("r:ins", Read, 0x2000, 8, 7)]);
+        assert!(identify(&[p0, p1]).is_empty());
+    }
+
+    #[test]
+    fn partial_overlap_projects_values() {
+        // Write 4 bytes at 0x2000 = DD CC BB AA; read 2 bytes at 0x2002.
+        // Overlap bytes are BB AA = 0xAABB vs read value 0xAABB → equal →
+        // no PMC despite full-value difference.
+        let p0 = prof(0, vec![("w:ins", Write, 0x2000, 4, 0xAABB_CCDD)]);
+        let p1 = prof(1, vec![("r:ins", Read, 0x2002, 2, 0xAABB)]);
+        assert!(identify(&[p0, p1]).is_empty());
+        // Differing overlap → PMC.
+        let p2 = prof(2, vec![("r:ins2", Read, 0x2002, 2, 0x0000)]);
+        let p0b = prof(0, vec![("w:ins", Write, 0x2000, 4, 0xAABB_CCDD)]);
+        assert_eq!(identify(&[p0b, p2]).len(), 1);
+    }
+
+    #[test]
+    fn same_test_can_pair_with_itself() {
+        // Duplicate-input concurrent tests (Table 2, #2/#3/#13).
+        let p = prof(
+            0,
+            vec![
+                ("r:ins", Read, 0x2000, 8, 0),
+                ("w:ins", Write, 0x2000, 8, 5),
+            ],
+        );
+        let set = identify(&[p]);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.pmcs[0].pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn multiple_pairs_collapse_into_one_pmc() {
+        // Two writer tests and two reader tests with identical features map
+        // to the same PMC key with several pairs.
+        let w0 = prof(0, vec![("w:ins", Write, 0x2000, 8, 5)]);
+        let w1 = prof(1, vec![("w:ins", Write, 0x2000, 8, 5)]);
+        let r0 = prof(2, vec![("r:ins", Read, 0x2000, 8, 0)]);
+        let set = identify(&[w0, w1, r0]);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.pmcs[0].pairs.len(), 2);
+    }
+
+    #[test]
+    fn distinct_values_make_distinct_pmcs() {
+        let w0 = prof(0, vec![("w:ins", Write, 0x2000, 8, 5)]);
+        let w1 = prof(1, vec![("w:ins", Write, 0x2000, 8, 6)]);
+        let r0 = prof(2, vec![("r:ins", Read, 0x2000, 8, 0)]);
+        let set = identify(&[w0, w1, r0]);
+        assert_eq!(set.len(), 2, "S-FULL distinguishes by value");
+    }
+
+    #[test]
+    fn df_leader_detection_marks_first_read() {
+        let p = prof(
+            0,
+            vec![
+                ("df:first", Read, 0x2000, 8, 9),
+                ("df:second", Read, 0x2000, 8, 9),
+            ],
+        );
+        let leaders = df_leaders(&p);
+        assert!(leaders.contains(&0));
+        assert!(!leaders.contains(&1));
+    }
+
+    #[test]
+    fn df_leader_requires_no_intervening_write() {
+        let p = prof(
+            0,
+            vec![
+                ("df:first", Read, 0x2000, 8, 9),
+                ("df:w", Write, 0x2000, 8, 1),
+                ("df:second", Read, 0x2000, 8, 9),
+            ],
+        );
+        assert!(df_leaders(&p).is_empty());
+    }
+
+    #[test]
+    fn df_leader_requires_distinct_instructions_and_equal_values() {
+        let same_site = prof(
+            0,
+            vec![
+                ("df:same", Read, 0x2000, 8, 9),
+                ("df:same", Read, 0x2000, 8, 9),
+            ],
+        );
+        assert!(df_leaders(&same_site).is_empty());
+        let diff_val = prof(
+            0,
+            vec![
+                ("df:a", Read, 0x2000, 8, 9),
+                ("df:b", Read, 0x2000, 8, 8),
+            ],
+        );
+        assert!(df_leaders(&diff_val).is_empty());
+    }
+
+    #[test]
+    fn pmc_hints_match_sides() {
+        let p0 = prof(0, vec![("w:ins", Write, 0x2000, 8, 42)]);
+        let p1 = prof(1, vec![("r:ins", Read, 0x2000, 8, 0)]);
+        let set = identify(&[p0, p1]);
+        let [hw, hr] = set.pmcs[0].hints();
+        assert_eq!(hw.kind, Write);
+        assert_eq!(hr.kind, Read);
+        assert_eq!(hw.site, site!("w:ins"));
+        assert_eq!(hr.site, site!("r:ins"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Sequential test profiling (§4.1).
+//!
+//! Each corpus program runs alone, from the fixed boot snapshot, under the
+//! free-run scheduler; its memory accesses are recorded and then pruned to
+//! *potentially shared* accesses using the paper's two filters: only the
+//! target thread's accesses (the CR3 filter — trivially satisfied here, one
+//! thread runs), and only non-stack addresses, computed with the ESP mask
+//! formula of §4.1.1.
+
+use sb_kernel::{BootedKernel, Program};
+use sb_vmm::access::Access;
+use sb_vmm::mem::{stack_base, stack_range_of};
+use sb_vmm::sched::FreeRun;
+use sb_vmm::Executor;
+
+/// The memory-access profile of one sequential test.
+#[derive(Clone, Debug)]
+pub struct SeqProfile {
+    /// Corpus index of the profiled test.
+    pub test: u32,
+    /// Shared (non-stack) accesses, in execution order.
+    pub accesses: Vec<Access>,
+    /// Total engine steps the execution took (profiling cost accounting).
+    pub steps: u64,
+}
+
+/// True if `a` falls outside the accessing thread's kernel stack, using the
+/// §4.1.1 mask: `[sp & !(STACK_SIZE-1), (sp & !(STACK_SIZE-1)) + STACK_SIZE)`.
+pub fn is_shared_access(a: &Access) -> bool {
+    let sp = stack_base(a.thread) + 16;
+    let (lo, hi) = stack_range_of(sp);
+    !(a.addr >= lo && a.addr < hi)
+}
+
+/// Profiles one program from the snapshot. Panicking or non-completing
+/// sequential tests yield `None` — they cannot serve as profile sources.
+pub fn profile_one(exec: &mut Executor, booted: &BootedKernel, test: u32, prog: &Program) -> Option<SeqProfile> {
+    let r = exec.run(
+        booted.snapshot.clone(),
+        vec![booted.kernel.process_job(prog.clone())],
+        &mut FreeRun,
+    );
+    if !r.report.outcome.is_completed() {
+        return None;
+    }
+    let accesses = r
+        .report
+        .trace
+        .into_iter()
+        .filter(is_shared_access)
+        .collect();
+    Some(SeqProfile {
+        test,
+        accesses,
+        steps: r.report.steps,
+    })
+}
+
+/// Profiles a whole corpus, fanning out across `workers` executors via the
+/// work queue (the paper profiles on one big machine; we parallelize the
+/// same way its later stages do).
+pub fn profile_corpus(booted: &BootedKernel, corpus: &[Program], workers: usize) -> Vec<SeqProfile> {
+    let jobs: Vec<(u32, Program)> = corpus
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i as u32, p.clone()))
+        .collect();
+    sb_queue::run_jobs(
+        jobs,
+        workers,
+        || Executor::new(1),
+        |exec, (i, prog)| profile_one(exec, booted, i, &prog),
+    )
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_kernel::prog::{Domain, Res, Syscall};
+    use sb_kernel::{boot, KernelConfig};
+    use sb_vmm::access::AccessKind;
+    use sb_vmm::site;
+
+    #[test]
+    fn stack_accesses_are_filtered() {
+        let a = Access {
+            seq: 0,
+            thread: 0,
+            site: site!("pf:stack"),
+            kind: AccessKind::Write,
+            addr: stack_base(0) + 24,
+            len: 8,
+            value: 0,
+            atomic: false,
+            locks: vec![],
+            rcu_depth: 0,
+        };
+        assert!(!is_shared_access(&a));
+        let mut b = a.clone();
+        b.addr = 0x2_0000;
+        assert!(is_shared_access(&b));
+    }
+
+    #[test]
+    fn profiling_captures_subsystem_accesses() {
+        let booted = boot(KernelConfig::v5_12_rc3());
+        let mut exec = Executor::new(1);
+        let prog = Program::new(vec![
+            Syscall::Socket { domain: Domain::L2tp },
+            Syscall::Connect { sock: Res(0), tunnel_id: 1 },
+        ]);
+        let p = profile_one(&mut exec, &booted, 0, &prog).expect("profile");
+        assert!(!p.accesses.is_empty());
+        // The tunnel-list publication write must be visible.
+        let publish = sb_vmm::Site::intern("list_add_rcu:head");
+        assert!(p.accesses.iter().any(|a| a.site == publish));
+        // And the profile must be reproducible.
+        let p2 = profile_one(&mut exec, &booted, 0, &prog).expect("profile");
+        let sig = |p: &SeqProfile| {
+            p.accesses
+                .iter()
+                .map(|a| (a.site, a.addr, a.value))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sig(&p), sig(&p2), "same snapshot, same accesses");
+    }
+
+    #[test]
+    fn profile_corpus_keeps_test_ids_aligned() {
+        let booted = boot(KernelConfig::v5_12_rc3());
+        let corpus = vec![
+            Program::new(vec![Syscall::Msgget { key: 1 }]),
+            Program::new(vec![Syscall::Mount]),
+        ];
+        let profiles = profile_corpus(&booted, &corpus, 2);
+        assert_eq!(profiles.len(), 2);
+        let mut ids: Vec<u32> = profiles.iter().map(|p| p.test).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+        // mount is the heavy one.
+        let mount = profiles.iter().find(|p| p.test == 1).expect("mount profile");
+        let msg = profiles.iter().find(|p| p.test == 0).expect("msgget profile");
+        assert!(mount.accesses.len() > msg.accesses.len());
+    }
+}

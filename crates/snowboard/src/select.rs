@@ -1,0 +1,186 @@
+//! PMC selection: exemplar choice and uncommon-first ordering (§4.3).
+//!
+//! Given a clustering, Snowboard "counts the cardinality of each cluster,
+//! and then selects the exemplar to test from each cluster, from the least
+//! populous — less common — to the most populous cluster". Random cluster
+//! order (the Random S-INS-PAIR row of Table 3) and iterative multi-strategy
+//! selection ("choose predicate A, test one exemplar from each A-cluster,
+//! then choose predicate B ... excluding those tested before") are also
+//! provided.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::cluster::{cluster, Cluster, Strategy};
+use crate::pmc::{PmcId, PmcSet};
+
+/// How clusters are ordered before exemplar selection.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ClusterOrder {
+    /// Least-populous first (the paper's default).
+    UncommonFirst,
+    /// Random order (the "Random S-INS-PAIR" ablation).
+    Random,
+}
+
+/// Orders clusters per `order` (stable and deterministic for a given seed).
+pub fn order_clusters(mut clusters: Vec<Cluster>, order: ClusterOrder, seed: u64) -> Vec<Cluster> {
+    match order {
+        ClusterOrder::UncommonFirst => {
+            clusters.sort_by_key(|c| (c.len(), c.key));
+        }
+        ClusterOrder::Random => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            clusters.shuffle(&mut rng);
+        }
+    }
+    clusters
+}
+
+/// Selects one exemplar PMC per cluster, in cluster order, skipping PMCs in
+/// `exclude` (already tested under an earlier strategy). The exemplar is
+/// drawn at random from the cluster (§4.4: "one PMC is chosen from each
+/// cluster ... A PMC may correspond to multiple test pairs; one pair is
+/// chosen among them at random").
+pub fn exemplars(
+    set: &PmcSet,
+    strategy: Strategy,
+    order: ClusterOrder,
+    seed: u64,
+    exclude: &HashSet<PmcId>,
+) -> Vec<PmcId> {
+    let clusters = order_clusters(cluster(set, strategy), order, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE7E7_5EED);
+    let mut picked = HashSet::new();
+    let mut out = Vec::with_capacity(clusters.len());
+    for c in &clusters {
+        let candidates: Vec<PmcId> = c
+            .members
+            .iter()
+            .copied()
+            .filter(|id| !exclude.contains(id) && !picked.contains(id))
+            .collect();
+        if let Some(&id) = candidates.choose(&mut rng) {
+            picked.insert(id);
+            out.push(id);
+        }
+    }
+    out
+}
+
+/// Iterative multi-strategy selection: runs each strategy in turn, excluding
+/// exemplars chosen by earlier strategies, and returns the concatenated
+/// test order. This is the "All clustering strategies combined" mode used
+/// for the 5.3.10 campaign (§5.1).
+pub fn combined_exemplars(
+    set: &PmcSet,
+    strategies: &[Strategy],
+    seed: u64,
+) -> Vec<(Strategy, PmcId)> {
+    let mut tested: HashSet<PmcId> = HashSet::new();
+    let mut out = Vec::new();
+    for (i, s) in strategies.iter().enumerate() {
+        let picks = exemplars(set, *s, ClusterOrder::UncommonFirst, seed.wrapping_add(i as u64), &tested);
+        for id in picks {
+            tested.insert(id);
+            out.push((*s, id));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmc::{Pmc, PmcKey, SideKey};
+    use sb_vmm::site;
+
+    fn pmc(wins: &str, val: u64) -> Pmc {
+        Pmc {
+            key: PmcKey {
+                w: SideKey { ins: site!(wins), addr: 0x10, len: 8, value: val },
+                r: SideKey { ins: site!("r"), addr: 0x10, len: 8, value: 0 },
+            },
+            df_leader: false,
+            pairs: vec![(0, 1)],
+        }
+    }
+
+    fn uneven_set() -> PmcSet {
+        // Write site "hot" appears with 5 values (one big S-FULL family),
+        // "cold" with 1.
+        let mut pmcs: Vec<Pmc> = (1..=5).map(|v| pmc("hot", v)).collect();
+        pmcs.push(pmc("cold", 9));
+        PmcSet { pmcs }
+    }
+
+    #[test]
+    fn uncommon_first_puts_small_clusters_first() {
+        let set = uneven_set();
+        let picks = exemplars(
+            &set,
+            Strategy::SInsPair,
+            ClusterOrder::UncommonFirst,
+            1,
+            &HashSet::new(),
+        );
+        // Two clusters: (cold,r) size 1 and (hot,r) size 5; cold first.
+        assert_eq!(picks.len(), 2);
+        assert_eq!(picks[0], 5, "the singleton cluster's exemplar leads");
+    }
+
+    #[test]
+    fn exclusion_suppresses_already_tested_pmcs() {
+        let set = uneven_set();
+        let mut exclude = HashSet::new();
+        exclude.insert(5 as PmcId);
+        let picks = exemplars(
+            &set,
+            Strategy::SInsPair,
+            ClusterOrder::UncommonFirst,
+            1,
+            &exclude,
+        );
+        assert_eq!(picks.len(), 1, "cold cluster fully excluded");
+        assert!(picks[0] < 5);
+    }
+
+    #[test]
+    fn selection_is_seed_deterministic() {
+        let set = uneven_set();
+        let a = exemplars(&set, Strategy::SFull, ClusterOrder::UncommonFirst, 3, &HashSet::new());
+        let b = exemplars(&set, Strategy::SFull, ClusterOrder::UncommonFirst, 3, &HashSet::new());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_order_differs_from_uncommon_first_eventually() {
+        let set = PmcSet {
+            pmcs: (0..32).map(|i| pmc(&format!("w{i}"), 1)).collect(),
+        };
+        let u = exemplars(&set, Strategy::SInsPair, ClusterOrder::UncommonFirst, 5, &HashSet::new());
+        let r = exemplars(&set, Strategy::SInsPair, ClusterOrder::Random, 5, &HashSet::new());
+        assert_eq!(u.len(), r.len());
+        assert_ne!(u, r, "random order should differ for 32 singleton clusters");
+    }
+
+    #[test]
+    fn combined_selection_never_repeats_a_pmc() {
+        let set = uneven_set();
+        let picks = combined_exemplars(
+            &set,
+            &[Strategy::SInsPair, Strategy::SFull, Strategy::SMem],
+            7,
+        );
+        let ids: Vec<PmcId> = picks.iter().map(|(_, id)| *id).collect();
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(ids.len(), dedup.len(), "no PMC tested twice: {ids:?}");
+        // S-FULL covers everything eventually: all 6 PMCs appear.
+        assert_eq!(ids.len(), 6);
+    }
+}

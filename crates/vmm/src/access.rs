@@ -1,0 +1,151 @@
+//! Memory-access event records.
+//!
+//! Every simulated kernel memory access produces one [`Access`], carrying the
+//! features Algorithm 1 keys PMCs on — instruction (site), memory range
+//! (address + length), value, and access type — plus the synchronization
+//! context (locks held, RCU nesting) that the data-race detector consumes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::site::Site;
+
+/// Whether an access reads or writes guest memory.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load from guest memory.
+    Read,
+    /// A store to guest memory.
+    Write,
+}
+
+impl AccessKind {
+    /// Returns true for [`AccessKind::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// One observed memory access by a simulated kernel thread.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Access {
+    /// Global sequence number within one execution (trace index).
+    pub seq: u64,
+    /// Simulated vCPU / kernel-thread index that performed the access.
+    pub thread: usize,
+    /// Static instruction identity.
+    pub site: Site,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Start address of the accessed range.
+    pub addr: u64,
+    /// Length of the accessed range in bytes (1..=8).
+    pub len: u8,
+    /// Value read or written (low `len` bytes significant).
+    pub value: u64,
+    /// True for `READ_ONCE`/`WRITE_ONCE`-style marked accesses; pairs of
+    /// marked accesses are not data races.
+    pub atomic: bool,
+    /// Addresses of the locks held by the thread at the time of the access.
+    pub locks: Vec<u64>,
+    /// RCU read-side critical-section nesting depth at the time of access.
+    pub rcu_depth: u8,
+}
+
+impl Access {
+    /// End of the accessed range (exclusive).
+    pub fn end(&self) -> u64 {
+        self.addr + u64::from(self.len)
+    }
+
+    /// Returns true if this access's range overlaps `other`'s.
+    pub fn overlaps(&self, other: &Access) -> bool {
+        self.addr < other.end() && other.addr < self.end()
+    }
+
+    /// Returns true if the two accesses share at least one held lock.
+    pub fn shares_lock_with(&self, other: &Access) -> bool {
+        self.locks.iter().any(|l| other.locks.contains(l))
+    }
+
+    /// Projects this access's value onto the byte range
+    /// `[start, start + len)`, which must be contained in the access range.
+    ///
+    /// This is the `project_value` helper of Algorithm 1: when a write and a
+    /// read overlap only partially, their values are compared over the
+    /// overlapping bytes.
+    pub fn project_value(&self, start: u64, len: u8) -> u64 {
+        debug_assert!(start >= self.addr && start + u64::from(len) <= self.end());
+        let shift = (start - self.addr) * 8;
+        let raw = self.value >> shift;
+        if len >= 8 {
+            raw
+        } else {
+            raw & ((1u64 << (u64::from(len) * 8)) - 1)
+        }
+    }
+}
+
+/// Computes the overlapping byte range of two (addr, len) ranges, if any.
+pub fn range_overlap(a_addr: u64, a_len: u8, b_addr: u64, b_len: u8) -> Option<(u64, u8)> {
+    let start = a_addr.max(b_addr);
+    let end = (a_addr + u64::from(a_len)).min(b_addr + u64::from(b_len));
+    if start < end {
+        Some((start, (end - start) as u8))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site;
+
+    fn acc(addr: u64, len: u8, value: u64, kind: AccessKind) -> Access {
+        Access {
+            seq: 0,
+            thread: 0,
+            site: site!("test:acc"),
+            kind,
+            addr,
+            len,
+            value,
+            atomic: false,
+            locks: vec![],
+            rcu_depth: 0,
+        }
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = acc(100, 8, 0, AccessKind::Write);
+        let b = acc(104, 8, 0, AccessKind::Read);
+        let c = acc(108, 4, 0, AccessKind::Read);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(range_overlap(100, 8, 104, 8), Some((104, 4)));
+        assert_eq!(range_overlap(100, 8, 108, 4), None);
+    }
+
+    #[test]
+    fn value_projection_little_endian() {
+        // Bytes at 100..108 are 01 02 03 04 05 06 07 08.
+        let w = acc(100, 8, 0x0807_0605_0403_0201, AccessKind::Write);
+        assert_eq!(w.project_value(100, 8), 0x0807_0605_0403_0201);
+        assert_eq!(w.project_value(104, 4), 0x0807_0605);
+        assert_eq!(w.project_value(107, 1), 0x08);
+        assert_eq!(w.project_value(102, 2), 0x0403);
+    }
+
+    #[test]
+    fn lock_sharing() {
+        let mut a = acc(0x40, 4, 0, AccessKind::Write);
+        let mut b = acc(0x40, 4, 0, AccessKind::Read);
+        assert!(!a.shares_lock_with(&b));
+        a.locks = vec![0x9000, 0x9008];
+        b.locks = vec![0x9008];
+        assert!(a.shares_lock_with(&b));
+        b.locks = vec![0x9010];
+        assert!(!a.shares_lock_with(&b));
+    }
+}

@@ -1,0 +1,325 @@
+//! The handle simulated kernel code uses to interact with the machine.
+//!
+//! Kernel subsystems are written as ordinary Rust against [`Ctx`]: every
+//! memory access, lock operation, RCU primitive, allocation, and console
+//! write is a *request* sent to the execution coordinator, which performs it
+//! on the guest state, records it, and decides — via the active scheduler —
+//! which thread runs next. Because the coordinator owns all shared state and
+//! serializes every request, the whole engine is safe Rust with no shared
+//! mutable memory between worker threads.
+
+use std::sync::mpsc::{Receiver, Sender};
+
+use serde::{Deserialize, Serialize};
+
+use crate::mem::stack_base;
+use crate::site::Site;
+use crate::AccessKind;
+
+/// A simulated machine fault or execution-control signal.
+///
+/// Kernel code propagates faults with `?`; the program runner at the base of
+/// each thread decides whether a fault ends one syscall or the whole test.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Fault {
+    /// Dereference inside the null page (`addr < 0x1000`).
+    NullDeref {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// Access to an unmapped address (low guard beyond the null page, or out
+    /// of bounds).
+    PageFault {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// Malformed access (zero or over-wide length).
+    BadAccess {
+        /// Requested address.
+        addr: u64,
+        /// Requested length.
+        len: u8,
+    },
+    /// Allocation failure.
+    Oom,
+    /// The kernel invoked [`Ctx::oops`] (explicit `BUG()`/panic).
+    Oops,
+    /// The coordinator is tearing the execution down (panic elsewhere,
+    /// deadlock, livelock, or executor shutdown); unwind immediately.
+    Aborted,
+    /// Lock protocol violation (e.g. unlocking a lock the thread holds not).
+    LockError {
+        /// Lock address involved.
+        addr: u64,
+    },
+}
+
+impl Fault {
+    /// True for faults that terminate the entire execution (machine-level
+    /// failures), as opposed to per-operation errors a syscall may handle.
+    pub fn is_fatal(self) -> bool {
+        matches!(
+            self,
+            Fault::NullDeref { .. }
+                | Fault::PageFault { .. }
+                | Fault::Oops
+                | Fault::Aborted
+                | Fault::LockError { .. }
+        )
+    }
+}
+
+/// Result type used throughout the simulated kernel.
+pub type KResult<T> = Result<T, Fault>;
+
+/// Requests a worker thread sends to the coordinator.
+#[derive(Debug)]
+pub(crate) enum Request {
+    /// Perform a memory access.
+    Access {
+        site: Site,
+        kind: AccessKind,
+        addr: u64,
+        len: u8,
+        /// Value to store for writes; ignored for reads.
+        value: u64,
+        /// Marked (READ_ONCE/WRITE_ONCE-style) access.
+        atomic: bool,
+    },
+    /// Acquire the lock cell at `addr` (blocking).
+    Lock { addr: u64 },
+    /// Release the lock cell at `addr`.
+    Unlock { addr: u64 },
+    /// Enter an RCU read-side critical section.
+    RcuLock,
+    /// Leave an RCU read-side critical section.
+    RcuUnlock,
+    /// Wait for an RCU grace period (all current readers done).
+    SyncRcu,
+    /// Allocate `len` bytes of guest heap.
+    Alloc { len: u64 },
+    /// Free a previous allocation.
+    Free { addr: u64, len: u64 },
+    /// Append a line to the kernel console.
+    Printk { msg: String },
+    /// Kernel panic with a console message; aborts the execution.
+    Oops { msg: String },
+    /// The thread's job finished with the given result.
+    Done { result: Result<(), Fault> },
+}
+
+/// Coordinator replies to worker requests.
+#[derive(Debug)]
+pub(crate) enum Reply {
+    /// Value result (reads, allocations).
+    Value(u64),
+    /// Success without a value.
+    Unit,
+    /// The request faulted.
+    Fault(Fault),
+}
+
+/// Per-thread handle to the coordinator; the "CPU" kernel code runs on.
+pub struct Ctx {
+    tid: usize,
+    req: Sender<Request>,
+    rep: Receiver<Reply>,
+}
+
+impl Ctx {
+    pub(crate) fn new(tid: usize, req: Sender<Request>, rep: Receiver<Reply>) -> Self {
+        Ctx { tid, req, rep }
+    }
+
+    /// The simulated vCPU / kernel-thread index this context runs on.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Address of 8-byte scratch slot `slot` in this thread's kernel stack.
+    ///
+    /// Accesses to these addresses are real, traced accesses — the profiler
+    /// later prunes them with the paper's ESP-mask formula (§4.1.1).
+    pub fn stack_slot(&self, slot: u64) -> u64 {
+        stack_base(self.tid) + 16 + slot * 8
+    }
+
+    fn roundtrip(&self, req: Request) -> KResult<u64> {
+        if self.req.send(req).is_err() {
+            return Err(Fault::Aborted);
+        }
+        match self.rep.recv() {
+            Ok(Reply::Value(v)) => Ok(v),
+            Ok(Reply::Unit) => Ok(0),
+            Ok(Reply::Fault(f)) => Err(f),
+            Err(_) => Err(Fault::Aborted),
+        }
+    }
+
+    /// Reads `len` bytes (1..=8) at `addr`, little-endian.
+    pub fn read(&self, site: Site, addr: u64, len: u8) -> KResult<u64> {
+        self.roundtrip(Request::Access {
+            site,
+            kind: AccessKind::Read,
+            addr,
+            len,
+            value: 0,
+            atomic: false,
+        })
+    }
+
+    /// Writes the low `len` bytes of `value` at `addr`, little-endian.
+    pub fn write(&self, site: Site, addr: u64, len: u8, value: u64) -> KResult<()> {
+        self.roundtrip(Request::Access {
+            site,
+            kind: AccessKind::Write,
+            addr,
+            len,
+            value,
+            atomic: false,
+        })
+        .map(|_| ())
+    }
+
+    /// Marked load (`READ_ONCE`); exempt from data-race reports when paired
+    /// with another marked access.
+    pub fn read_atomic(&self, site: Site, addr: u64, len: u8) -> KResult<u64> {
+        self.roundtrip(Request::Access {
+            site,
+            kind: AccessKind::Read,
+            addr,
+            len,
+            value: 0,
+            atomic: true,
+        })
+    }
+
+    /// Marked store (`WRITE_ONCE`).
+    pub fn write_atomic(&self, site: Site, addr: u64, len: u8, value: u64) -> KResult<()> {
+        self.roundtrip(Request::Access {
+            site,
+            kind: AccessKind::Write,
+            addr,
+            len,
+            value,
+            atomic: true,
+        })
+        .map(|_| ())
+    }
+
+    /// Reads a u8 at `addr`.
+    pub fn read_u8(&self, site: Site, addr: u64) -> KResult<u64> {
+        self.read(site, addr, 1)
+    }
+
+    /// Reads a u32 at `addr`.
+    pub fn read_u32(&self, site: Site, addr: u64) -> KResult<u64> {
+        self.read(site, addr, 4)
+    }
+
+    /// Reads a u64 at `addr`.
+    pub fn read_u64(&self, site: Site, addr: u64) -> KResult<u64> {
+        self.read(site, addr, 8)
+    }
+
+    /// Writes a u8 at `addr`.
+    pub fn write_u8(&self, site: Site, addr: u64, value: u64) -> KResult<()> {
+        self.write(site, addr, 1, value)
+    }
+
+    /// Writes a u32 at `addr`.
+    pub fn write_u32(&self, site: Site, addr: u64, value: u64) -> KResult<()> {
+        self.write(site, addr, 4, value)
+    }
+
+    /// Writes a u64 at `addr`.
+    pub fn write_u64(&self, site: Site, addr: u64, value: u64) -> KResult<()> {
+        self.write(site, addr, 8, value)
+    }
+
+    /// Copies `len` bytes from `src` to `dst` one byte at a time, like the
+    /// kernel's `memcpy` compiled to byte moves — every byte is a separate
+    /// schedulable access, so a concurrent reader can observe a torn copy
+    /// (the structure of paper bug #9).
+    pub fn memcpy(&self, site: Site, dst: u64, src: u64, len: u64) -> KResult<()> {
+        for i in 0..len {
+            let b = self.read(site, src + i, 1)?;
+            self.write(site, dst + i, 1, b)?;
+        }
+        Ok(())
+    }
+
+    /// Acquires the spinlock/mutex cell at `addr`, blocking until available.
+    pub fn lock(&self, addr: u64) -> KResult<()> {
+        self.roundtrip(Request::Lock { addr }).map(|_| ())
+    }
+
+    /// Releases the lock cell at `addr`.
+    pub fn unlock(&self, addr: u64) -> KResult<()> {
+        self.roundtrip(Request::Unlock { addr }).map(|_| ())
+    }
+
+    /// Runs `f` with the lock at `addr` held, releasing it afterwards even if
+    /// `f` fails with a non-fatal fault.
+    pub fn with_lock<T>(&self, addr: u64, f: impl FnOnce() -> KResult<T>) -> KResult<T> {
+        self.lock(addr)?;
+        let out = f();
+        match &out {
+            // After a fatal fault the machine is going down; skip unlocking.
+            Err(e) if e.is_fatal() => out,
+            _ => {
+                self.unlock(addr)?;
+                out
+            }
+        }
+    }
+
+    /// Enters an RCU read-side critical section.
+    pub fn rcu_read_lock(&self) -> KResult<()> {
+        self.roundtrip(Request::RcuLock).map(|_| ())
+    }
+
+    /// Leaves an RCU read-side critical section.
+    pub fn rcu_read_unlock(&self) -> KResult<()> {
+        self.roundtrip(Request::RcuUnlock).map(|_| ())
+    }
+
+    /// Waits for an RCU grace period: blocks until no other thread is inside
+    /// an RCU read-side critical section.
+    pub fn synchronize_rcu(&self) -> KResult<()> {
+        self.roundtrip(Request::SyncRcu).map(|_| ())
+    }
+
+    /// Allocates `len` bytes of zeroed guest heap (kzalloc semantics).
+    pub fn kmalloc(&self, len: u64) -> KResult<u64> {
+        self.roundtrip(Request::Alloc { len })
+    }
+
+    /// Frees an allocation of `len` bytes at `addr`.
+    pub fn kfree(&self, addr: u64, len: u64) -> KResult<()> {
+        self.roundtrip(Request::Free { addr, len }).map(|_| ())
+    }
+
+    /// Appends a line to the kernel console (printk).
+    pub fn printk(&self, msg: impl Into<String>) -> KResult<()> {
+        self.roundtrip(Request::Printk { msg: msg.into() }).map(|_| ())
+    }
+
+    /// Reports the thread's job result to the coordinator (worker-loop use).
+    pub(crate) fn send_done(&self, result: Result<(), Fault>) -> Result<(), ()> {
+        self.req
+            .send(Request::Done { result })
+            .map_err(|_| ())
+    }
+
+    /// Kernel panic: records `msg` on the console, marks the execution as
+    /// panicked, and returns the fault the caller should propagate.
+    pub fn oops(&self, msg: impl Into<String>) -> Fault {
+        match self.roundtrip(Request::Oops { msg: msg.into() }) {
+            Err(f) => f,
+            // The coordinator always replies with a fault to an oops; treat
+            // an unexpected success as an abort to keep unwinding.
+            Ok(_) => Fault::Aborted,
+        }
+    }
+}

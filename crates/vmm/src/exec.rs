@@ -1,0 +1,544 @@
+//! The execution coordinator: one vCPU runs at a time, every access is a
+//! scheduling point.
+//!
+//! The coordinator owns the guest memory, the lock table, and the RCU state.
+//! Kernel threads run on pooled worker OS threads, but *logically* exactly
+//! one executes at a time: a worker performs pure computation freely, yet
+//! every interaction with shared machine state is a request the coordinator
+//! serializes. After each memory access the active [`Scheduler`] may preempt
+//! the running thread — the fine-grained control §4.4 requires ("only
+//! executes one vCPU at a time, enforcing the desired interleaving
+//! schedule").
+//!
+//! Liveness handling mirrors SKI's `is_live` heuristics (§4.4.1): threads
+//! that keep fetching the same memory area are forcibly preempted, and
+//! executions that exceed an instruction budget end as livelocks.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use serde::{Deserialize, Serialize};
+
+use crate::access::{Access, AccessKind};
+use crate::ctx::{Ctx, Fault, KResult, Reply, Request};
+use crate::mem::GuestMem;
+use crate::sched::Scheduler;
+
+/// A kernel thread body: the closure one simulated vCPU executes.
+pub type Job = Box<dyn FnOnce(&Ctx) -> KResult<()> + Send + 'static>;
+
+/// Execution resource limits (the `is_live` thresholds of §4.4.1).
+#[derive(Copy, Clone, Debug)]
+pub struct ExecLimits {
+    /// Maximum total coordinator steps before the run is declared a livelock.
+    pub max_steps: u64,
+    /// Maximum steps any single thread may execute.
+    pub max_thread_steps: u64,
+    /// Consecutive accesses to the same address before a forced preemption
+    /// ("constantly fetching the same memory area").
+    pub spin_limit: u32,
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        ExecLimits {
+            max_steps: 400_000,
+            max_thread_steps: 200_000,
+            spin_limit: 64,
+        }
+    }
+}
+
+/// Terminal state of one execution.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// All threads ran to completion.
+    Completed,
+    /// The kernel panicked (oops, null dereference, page fault).
+    Panic {
+        /// The console line describing the panic.
+        msg: String,
+    },
+    /// Every live thread was blocked on a lock or RCU grace period.
+    Deadlock,
+    /// The execution exceeded its instruction budget.
+    Livelock,
+}
+
+impl Outcome {
+    /// True if the execution finished without a machine-level failure.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Outcome::Completed)
+    }
+
+    /// True if the kernel panicked.
+    pub fn is_panic(&self) -> bool {
+        matches!(self, Outcome::Panic { .. })
+    }
+}
+
+/// Everything observed during one execution.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExecReport {
+    /// Terminal state.
+    pub outcome: Outcome,
+    /// Kernel console lines, in order.
+    pub console: Vec<String>,
+    /// Every memory access, in global order.
+    pub trace: Vec<Access>,
+    /// Total coordinator steps executed.
+    pub steps: u64,
+    /// Thread preemptions (scheduler-requested plus forced).
+    pub switches: u64,
+    /// Terminal fault of each thread, if any.
+    pub thread_faults: Vec<Option<Fault>>,
+}
+
+impl ExecReport {
+    /// True if any console line contains `needle`.
+    pub fn console_contains(&self, needle: &str) -> bool {
+        self.console.iter().any(|l| l.contains(needle))
+    }
+}
+
+/// Result of [`Executor::run`]: the report plus the final guest memory
+/// (useful for snapshotting after boot).
+pub struct RunResult {
+    /// The observation record.
+    pub report: ExecReport,
+    /// Guest memory at the end of the run.
+    pub mem: GuestMem,
+}
+
+struct WorkerHandle {
+    job_tx: Sender<Job>,
+    req_rx: Receiver<Request>,
+    rep_tx: Sender<Reply>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A reusable pool of simulated vCPUs plus the coordination logic.
+///
+/// Creating an `Executor` spawns its worker threads once; every call to
+/// [`Executor::run`] reuses them, so executing many short trials (Snowboard
+/// runs up to 64 trials per PMC) stays cheap.
+pub struct Executor {
+    workers: Vec<WorkerHandle>,
+    limits: ExecLimits,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum TStat {
+    Ready,
+    Blocked,
+    Done,
+}
+
+struct RunState<'a> {
+    mem: GuestMem,
+    sched: &'a mut dyn Scheduler,
+    limits: ExecLimits,
+    n: usize,
+    status: Vec<TStat>,
+    owed: Vec<Option<Reply>>,
+    held: Vec<Vec<u64>>,
+    lock_owner: HashMap<u64, usize>,
+    lock_waiters: HashMap<u64, VecDeque<usize>>,
+    rcu_depth: Vec<u8>,
+    sync_waiters: Vec<usize>,
+    trace: Vec<Access>,
+    console: Vec<String>,
+    steps: u64,
+    thread_steps: Vec<u64>,
+    switches: u64,
+    spin: Vec<(u64, u32)>,
+    aborting: bool,
+    outcome: Option<Outcome>,
+    thread_faults: Vec<Option<Fault>>,
+}
+
+impl Executor {
+    /// Creates an executor with `n_workers` pooled vCPUs and default limits.
+    pub fn new(n_workers: usize) -> Self {
+        Self::with_limits(n_workers, ExecLimits::default())
+    }
+
+    /// Creates an executor with explicit [`ExecLimits`].
+    pub fn with_limits(n_workers: usize, limits: ExecLimits) -> Self {
+        assert!(
+            n_workers >= 1 && n_workers <= crate::mem::MAX_THREADS,
+            "worker count must be in 1..={}",
+            crate::mem::MAX_THREADS
+        );
+        let workers = (0..n_workers)
+            .map(|tid| {
+                let (job_tx, job_rx) = channel::<Job>();
+                let (req_tx, req_rx) = channel::<Request>();
+                let (rep_tx, rep_rx) = channel::<Reply>();
+                let join = std::thread::Builder::new()
+                    .name(format!("sb-vcpu-{tid}"))
+                    .spawn(move || worker_main(tid, job_rx, req_tx, rep_rx))
+                    .expect("failed to spawn vCPU worker");
+                WorkerHandle {
+                    job_tx,
+                    req_rx,
+                    rep_tx,
+                    join: Some(join),
+                }
+            })
+            .collect();
+        Executor { workers, limits }
+    }
+
+    /// Number of pooled vCPUs.
+    pub fn vcpus(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `jobs` (one per vCPU, at most [`Executor::vcpus`]) over `mem`
+    /// under `sched`, returning the observation report and final memory.
+    pub fn run(&mut self, mem: GuestMem, jobs: Vec<Job>, sched: &mut dyn Scheduler) -> RunResult {
+        let n = jobs.len();
+        assert!(n >= 1 && n <= self.workers.len(), "bad job count {n}");
+        for (i, job) in jobs.into_iter().enumerate() {
+            self.workers[i]
+                .job_tx
+                .send(job)
+                .expect("vCPU worker thread died");
+        }
+        let mut st = RunState {
+            mem,
+            sched,
+            limits: self.limits,
+            n,
+            status: vec![TStat::Ready; n],
+            owed: (0..n).map(|_| None).collect(),
+            held: vec![Vec::new(); n],
+            lock_owner: HashMap::new(),
+            lock_waiters: HashMap::new(),
+            rcu_depth: vec![0; n],
+            sync_waiters: Vec::new(),
+            trace: Vec::with_capacity(1024),
+            console: Vec::new(),
+            steps: 0,
+            thread_steps: vec![0; n],
+            switches: 0,
+            spin: vec![(u64::MAX, 0); n],
+            aborting: false,
+            outcome: None,
+            thread_faults: vec![None; n],
+        };
+        let mut current = 0usize;
+        loop {
+            if st.status.iter().all(|s| *s == TStat::Done) {
+                break;
+            }
+            let ready: Vec<usize> = (0..n).filter(|t| st.status[*t] == TStat::Ready).collect();
+            if ready.is_empty() {
+                // Every live thread is blocked: deadlock. Release them with
+                // abort faults so they can unwind and report Done.
+                st.abort(Outcome::Deadlock);
+                continue;
+            }
+            if st.status[current] != TStat::Ready {
+                current = if st.aborting {
+                    ready[0]
+                } else {
+                    st.switches += 1;
+                    st.sched.pick(current, &ready)
+                };
+            }
+            self.service_one(&mut st, &mut current);
+        }
+        let outcome = st.outcome.unwrap_or(Outcome::Completed);
+        RunResult {
+            report: ExecReport {
+                outcome,
+                console: st.console,
+                trace: st.trace,
+                steps: st.steps,
+                switches: st.switches,
+                thread_faults: st.thread_faults,
+            },
+            mem: st.mem,
+        }
+    }
+
+    /// Delivers any owed reply to `current`, receives its next request, and
+    /// handles it; may change `current` on a scheduling decision.
+    fn service_one(&mut self, st: &mut RunState<'_>, current: &mut usize) {
+        let t = *current;
+        if let Some(rep) = st.owed[t].take() {
+            let _ = self.workers[t].rep_tx.send(rep);
+        }
+        let req = match self.workers[t].req_rx.recv() {
+            Ok(r) => r,
+            Err(_) => {
+                // Worker died (test-harness teardown); mark done.
+                st.status[t] = TStat::Done;
+                return;
+            }
+        };
+        st.steps += 1;
+        st.thread_steps[t] += 1;
+        if !st.aborting
+            && (st.steps > st.limits.max_steps
+                || st.thread_steps[t] > st.limits.max_thread_steps)
+        {
+            st.abort(Outcome::Livelock);
+        }
+        match req {
+            Request::Done { result } => {
+                st.thread_faults[t] = result.err();
+                st.status[t] = TStat::Done;
+                // Auto-release anything the thread still holds so a buggy
+                // simulated handler cannot wedge the other thread forever.
+                let held = std::mem::take(&mut st.held[t]);
+                for addr in held {
+                    st.console
+                        .push(format!("WARNING: thread {t} exited holding lock {addr:#x}"));
+                    st.release_lock(t, addr);
+                }
+                if st.rcu_depth[t] > 0 {
+                    st.rcu_depth[t] = 0;
+                    st.wake_rcu_waiters_if_quiescent();
+                }
+            }
+            _ if st.aborting => {
+                let _ = self.workers[t].rep_tx.send(Reply::Fault(Fault::Aborted));
+            }
+            Request::Access {
+                site,
+                kind,
+                addr,
+                len,
+                value,
+                atomic,
+            } => {
+                let res = match kind {
+                    AccessKind::Read => st.mem.read(addr, len),
+                    AccessKind::Write => st.mem.write(addr, len, value).map(|()| value),
+                };
+                match res {
+                    Ok(v) => {
+                        let access = Access {
+                            seq: st.trace.len() as u64,
+                            thread: t,
+                            site,
+                            kind,
+                            addr,
+                            len,
+                            value: v,
+                            atomic,
+                            locks: st.held[t].clone(),
+                            rcu_depth: st.rcu_depth[t],
+                        };
+                        let reply = match kind {
+                            AccessKind::Read => Reply::Value(v),
+                            AccessKind::Write => Reply::Unit,
+                        };
+                        let _ = self.workers[t].rep_tx.send(reply);
+                        let mut switch = st.sched.after_access(t, &access);
+                        st.trace.push(access);
+                        // Spin detection: repeated traffic on one address.
+                        let (last, count) = &mut st.spin[t];
+                        if *last == addr {
+                            *count += 1;
+                            if *count >= st.limits.spin_limit {
+                                *count = 0;
+                                st.sched.on_forced_switch(t);
+                                switch = true;
+                            }
+                        } else {
+                            *last = addr;
+                            *count = 0;
+                        }
+                        if switch {
+                            let others: Vec<usize> = (0..st.n)
+                                .filter(|u| *u != t && st.status[*u] == TStat::Ready)
+                                .collect();
+                            if !others.is_empty() {
+                                st.switches += 1;
+                                *current = st.sched.pick(t, &others);
+                            }
+                        }
+                    }
+                    Err(f) => {
+                        if matches!(f, Fault::NullDeref { .. } | Fault::PageFault { .. }) {
+                            let msg = match f {
+                                Fault::NullDeref { addr } => format!(
+                                    "BUG: kernel NULL pointer dereference, address: {addr:#x} at {site}"
+                                ),
+                                Fault::PageFault { addr } => format!(
+                                    "BUG: unable to handle page fault for address: {addr:#x} at {site}"
+                                ),
+                                _ => unreachable!(),
+                            };
+                            st.console.push(msg.clone());
+                            st.abort(Outcome::Panic { msg });
+                        }
+                        let _ = self.workers[t].rep_tx.send(Reply::Fault(f));
+                    }
+                }
+            }
+            Request::Lock { addr } => match st.lock_owner.get(&addr) {
+                None => {
+                    st.lock_owner.insert(addr, t);
+                    st.held[t].push(addr);
+                    let _ = self.workers[t].rep_tx.send(Reply::Unit);
+                }
+                Some(owner) if *owner == t => {
+                    let _ = self.workers[t]
+                        .rep_tx
+                        .send(Reply::Fault(Fault::LockError { addr }));
+                }
+                Some(_) => {
+                    st.lock_waiters.entry(addr).or_default().push_back(t);
+                    st.status[t] = TStat::Blocked;
+                    // No reply: the thread stays parked until the lock is
+                    // handed over or the run aborts.
+                }
+            },
+            Request::Unlock { addr } => {
+                if st.lock_owner.get(&addr) != Some(&t) {
+                    let _ = self.workers[t]
+                        .rep_tx
+                        .send(Reply::Fault(Fault::LockError { addr }));
+                } else {
+                    st.held[t].retain(|a| *a != addr);
+                    st.release_lock(t, addr);
+                    let _ = self.workers[t].rep_tx.send(Reply::Unit);
+                }
+            }
+            Request::RcuLock => {
+                st.rcu_depth[t] = st.rcu_depth[t].saturating_add(1);
+                let _ = self.workers[t].rep_tx.send(Reply::Unit);
+            }
+            Request::RcuUnlock => {
+                if st.rcu_depth[t] == 0 {
+                    let _ = self.workers[t]
+                        .rep_tx
+                        .send(Reply::Fault(Fault::LockError { addr: 0 }));
+                } else {
+                    st.rcu_depth[t] -= 1;
+                    st.wake_rcu_waiters_if_quiescent();
+                    let _ = self.workers[t].rep_tx.send(Reply::Unit);
+                }
+            }
+            Request::SyncRcu => {
+                let readers: u32 = st
+                    .rcu_depth
+                    .iter()
+                    .enumerate()
+                    .filter(|(u, _)| *u != t)
+                    .map(|(_, d)| u32::from(*d))
+                    .sum();
+                if readers == 0 {
+                    let _ = self.workers[t].rep_tx.send(Reply::Unit);
+                } else {
+                    st.sync_waiters.push(t);
+                    st.status[t] = TStat::Blocked;
+                }
+            }
+            Request::Alloc { len } => {
+                let rep = match st.mem.kmalloc(len) {
+                    Ok(a) => Reply::Value(a),
+                    Err(f) => Reply::Fault(f),
+                };
+                let _ = self.workers[t].rep_tx.send(rep);
+            }
+            Request::Free { addr, len } => {
+                let rep = match st.mem.kfree(addr, len) {
+                    Ok(()) => Reply::Unit,
+                    Err(f) => Reply::Fault(f),
+                };
+                let _ = self.workers[t].rep_tx.send(rep);
+            }
+            Request::Printk { msg } => {
+                st.console.push(msg);
+                let _ = self.workers[t].rep_tx.send(Reply::Unit);
+            }
+            Request::Oops { msg } => {
+                st.console.push(msg.clone());
+                st.abort(Outcome::Panic { msg });
+                let _ = self.workers[t].rep_tx.send(Reply::Fault(Fault::Oops));
+            }
+        }
+    }
+}
+
+impl RunState<'_> {
+    /// Hands the lock at `addr` to its next waiter, or frees it.
+    fn release_lock(&mut self, _t: usize, addr: u64) {
+        self.lock_owner.remove(&addr);
+        if let Some(waiters) = self.lock_waiters.get_mut(&addr) {
+            if let Some(w) = waiters.pop_front() {
+                self.lock_owner.insert(addr, w);
+                self.held[w].push(addr);
+                self.status[w] = TStat::Ready;
+                self.owed[w] = Some(Reply::Unit);
+            }
+        }
+    }
+
+    fn wake_rcu_waiters_if_quiescent(&mut self) {
+        let total: u32 = self.rcu_depth.iter().map(|d| u32::from(*d)).sum();
+        if total == 0 {
+            for w in std::mem::take(&mut self.sync_waiters) {
+                self.status[w] = TStat::Ready;
+                self.owed[w] = Some(Reply::Unit);
+            }
+        }
+    }
+
+    /// Moves the run into teardown: records the outcome (first one wins) and
+    /// releases every blocked thread with an abort fault so it can unwind.
+    fn abort(&mut self, reason: Outcome) {
+        if self.outcome.is_none() {
+            self.outcome = Some(reason);
+        }
+        self.aborting = true;
+        for t in 0..self.n {
+            if self.status[t] == TStat::Blocked {
+                self.status[t] = TStat::Ready;
+                self.owed[t] = Some(Reply::Fault(Fault::Aborted));
+            }
+        }
+        self.lock_waiters.clear();
+        self.sync_waiters.clear();
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        // Close job channels so workers exit, then join them.
+        for w in &mut self.workers {
+            let (tx, _rx) = channel::<Job>();
+            // Replace the sender with a disconnected one, dropping the real
+            // sender and closing the worker's job queue.
+            w.job_tx = tx;
+        }
+        for w in &mut self.workers {
+            if let Some(j) = w.join.take() {
+                let _ = j.join();
+            }
+        }
+    }
+}
+
+fn worker_main(
+    tid: usize,
+    job_rx: Receiver<Job>,
+    req_tx: Sender<Request>,
+    rep_rx: Receiver<Reply>,
+) {
+    let ctx = Ctx::new(tid, req_tx, rep_rx);
+    while let Ok(job) = job_rx.recv() {
+        let result = job(&ctx);
+        // A closed channel means the executor is gone; just exit.
+        if ctx.send_done(result).is_err() {
+            break;
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Guest physical memory: flat, byte-addressable, deterministically allocated.
+//!
+//! The paper relies on the crucial property that, starting from the same VM
+//! snapshot, the same sequence of kernel operations produces the same memory
+//! layout — so PMCs predicted from sequential profiles remain meaningful when
+//! the two tests later run concurrently (§4.1). This module provides that
+//! property: a fixed-size guest address space with a deterministic
+//! size-classed slab allocator, a faulting low-memory guard region (so null
+//! and near-null dereferences oops like real page faults), and per-thread
+//! 8 KiB kernel-stack regions laid out exactly as the paper's ESP-masking
+//! formula assumes (§4.1.1).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::ctx::Fault;
+
+/// Total guest memory size in bytes (4 MiB).
+pub const GUEST_MEM_SIZE: u64 = 1 << 22;
+
+/// Addresses below this bound fault, emulating unmapped low pages.
+///
+/// The first page models a null-pointer dereference; the rest of the guard
+/// models wild near-null pointers (e.g. a field offset added to a null base),
+/// which the paper's bug #1 produces.
+pub const NULL_GUARD_END: u64 = 0x1_0000;
+
+/// Per-thread kernel stack size: 8 KiB, two physical pages, matching the
+/// Linux x86 configuration described in §4.1.1.
+pub const STACK_SIZE: u64 = 0x2000;
+
+/// Maximum number of simulated vCPUs / kernel threads.
+pub const MAX_THREADS: usize = 4;
+
+/// Base of the kernel-stack area. Stacks are `STACK_SIZE`-aligned and sit at
+/// the top of guest memory, one per thread.
+pub const STACKS_BASE: u64 = GUEST_MEM_SIZE - (MAX_THREADS as u64) * STACK_SIZE;
+
+/// Start of the dynamic allocation arena.
+pub const HEAP_BASE: u64 = NULL_GUARD_END;
+
+/// Returns the base address of thread `tid`'s kernel stack.
+pub fn stack_base(tid: usize) -> u64 {
+    assert!(tid < MAX_THREADS, "thread id {tid} out of range");
+    STACKS_BASE + (tid as u64) * STACK_SIZE
+}
+
+/// Computes the kernel stack range containing stack pointer `sp`, using the
+/// mask formula from §4.1.1:
+/// `[sp & !(STACK_SIZE-1), (sp & !(STACK_SIZE-1)) + STACK_SIZE)`.
+pub fn stack_range_of(sp: u64) -> (u64, u64) {
+    let base = sp & !(STACK_SIZE - 1);
+    (base, base + STACK_SIZE)
+}
+
+/// Returns true if `addr` falls inside any thread's kernel-stack region.
+pub fn is_stack_addr(addr: u64) -> bool {
+    addr >= STACKS_BASE && addr < GUEST_MEM_SIZE
+}
+
+/// The allocator size classes, in bytes. Allocations round up to the nearest
+/// class; larger requests fail with [`Fault::Oom`].
+const SIZE_CLASSES: [u64; 8] = [8, 16, 32, 64, 128, 256, 1024, 4096];
+
+/// Flat guest memory with a deterministic slab allocator.
+///
+/// Cloning a `GuestMem` is how snapshots work: boot the kernel once, clone
+/// the resulting memory before every trial, and every trial observes the
+/// exact same initial state and future allocation addresses.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct GuestMem {
+    bytes: Vec<u8>,
+    /// Bump pointer for fresh slab pages.
+    brk: u64,
+    /// Free lists per size class, keyed by class size. `Vec` used as a LIFO
+    /// so reallocation is deterministic.
+    free: BTreeMap<u64, Vec<u64>>,
+    /// Count of live allocations, for leak diagnostics.
+    live: u64,
+}
+
+impl Default for GuestMem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GuestMem {
+    /// Creates a zeroed guest memory with an empty heap.
+    pub fn new() -> Self {
+        GuestMem {
+            bytes: vec![0u8; GUEST_MEM_SIZE as usize],
+            brk: HEAP_BASE,
+            free: BTreeMap::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live (allocated, not yet freed) heap objects.
+    pub fn live_allocations(&self) -> u64 {
+        self.live
+    }
+
+    /// Current bump pointer; useful to verify allocation determinism.
+    pub fn brk(&self) -> u64 {
+        self.brk
+    }
+
+    fn check_range(addr: u64, len: u8) -> Result<(), Fault> {
+        let len = u64::from(len);
+        if len == 0 || len > 8 {
+            return Err(Fault::BadAccess { addr, len: len as u8 });
+        }
+        if addr < NULL_GUARD_END {
+            if addr < 0x1000 {
+                return Err(Fault::NullDeref { addr });
+            }
+            return Err(Fault::PageFault { addr });
+        }
+        if addr.checked_add(len).map_or(true, |end| end > GUEST_MEM_SIZE) {
+            return Err(Fault::PageFault { addr });
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes (1..=8) at `addr` as a little-endian value.
+    pub fn read(&self, addr: u64, len: u8) -> Result<u64, Fault> {
+        Self::check_range(addr, len)?;
+        let mut buf = [0u8; 8];
+        let start = addr as usize;
+        buf[..len as usize].copy_from_slice(&self.bytes[start..start + len as usize]);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes the low `len` bytes (1..=8) of `value` at `addr`, little-endian.
+    pub fn write(&mut self, addr: u64, len: u8, value: u64) -> Result<(), Fault> {
+        Self::check_range(addr, len)?;
+        let start = addr as usize;
+        let bytes = value.to_le_bytes();
+        self.bytes[start..start + len as usize].copy_from_slice(&bytes[..len as usize]);
+        Ok(())
+    }
+
+    fn size_class(len: u64) -> Option<u64> {
+        SIZE_CLASSES.iter().copied().find(|c| *c >= len)
+    }
+
+    /// Allocates `len` bytes, zeroing the returned object.
+    ///
+    /// Allocation is fully deterministic: the same sequence of
+    /// `kmalloc`/`kfree` calls from the same snapshot yields the same
+    /// addresses — the property PMC prediction relies on (§4.1).
+    pub fn kmalloc(&mut self, len: u64) -> Result<u64, Fault> {
+        let class = Self::size_class(len).ok_or(Fault::Oom)?;
+        let addr = if let Some(a) = self.free.get_mut(&class).and_then(Vec::pop) {
+            a
+        } else {
+            let a = self.brk;
+            let end = a.checked_add(class).ok_or(Fault::Oom)?;
+            if end > STACKS_BASE {
+                return Err(Fault::Oom);
+            }
+            self.brk = end;
+            a
+        };
+        // Fresh objects are zeroed, like kzalloc; this keeps reads of
+        // just-allocated objects deterministic.
+        let start = addr as usize;
+        self.bytes[start..start + class as usize].fill(0);
+        self.live += 1;
+        Ok(addr)
+    }
+
+    /// Returns an object of `len` bytes at `addr` to its size-class free list.
+    pub fn kfree(&mut self, addr: u64, len: u64) -> Result<(), Fault> {
+        let class = Self::size_class(len).ok_or(Fault::BadAccess { addr, len: 8 })?;
+        if addr < HEAP_BASE || addr >= STACKS_BASE {
+            return Err(Fault::PageFault { addr });
+        }
+        self.free.entry(class).or_default().push(addr);
+        self.live = self.live.saturating_sub(1);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip_all_widths() {
+        let mut m = GuestMem::new();
+        let a = m.kmalloc(8).unwrap();
+        for len in 1u8..=8 {
+            let val = 0x1122_3344_5566_7788u64 & (u64::MAX >> (64 - 8 * u32::from(len)));
+            m.write(a, len, val).unwrap();
+            assert_eq!(m.read(a, len).unwrap(), val, "width {len}");
+        }
+    }
+
+    #[test]
+    fn little_endian_overlap_semantics() {
+        let mut m = GuestMem::new();
+        let a = m.kmalloc(8).unwrap();
+        m.write(a, 8, 0x0807_0605_0403_0201).unwrap();
+        assert_eq!(m.read(a, 1).unwrap(), 0x01);
+        assert_eq!(m.read(a + 2, 2).unwrap(), 0x0403);
+        assert_eq!(m.read(a + 4, 4).unwrap(), 0x0807_0605);
+    }
+
+    #[test]
+    fn null_guard_faults() {
+        let m = GuestMem::new();
+        assert!(matches!(m.read(0, 8), Err(Fault::NullDeref { .. })));
+        assert!(matches!(m.read(8, 4), Err(Fault::NullDeref { .. })));
+        assert!(matches!(m.read(0x2000, 4), Err(Fault::PageFault { .. })));
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let m = GuestMem::new();
+        assert!(matches!(
+            m.read(GUEST_MEM_SIZE - 4, 8),
+            Err(Fault::PageFault { .. })
+        ));
+        assert!(matches!(m.read(u64::MAX, 8), Err(Fault::PageFault { .. })));
+    }
+
+    #[test]
+    fn zero_and_oversized_lengths_rejected() {
+        let mut m = GuestMem::new();
+        let a = m.kmalloc(16).unwrap();
+        assert!(matches!(m.read(a, 0), Err(Fault::BadAccess { .. })));
+        assert!(matches!(m.write(a, 9, 0), Err(Fault::BadAccess { .. })));
+    }
+
+    #[test]
+    fn allocation_is_deterministic() {
+        let run = || {
+            let mut m = GuestMem::new();
+            let a = m.kmalloc(24).unwrap();
+            let b = m.kmalloc(24).unwrap();
+            m.kfree(a, 24).unwrap();
+            let c = m.kmalloc(17).unwrap();
+            (a, b, c)
+        };
+        assert_eq!(run(), run());
+        let (a, _b, c) = run();
+        // Freed object is reused LIFO within its size class.
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn allocations_are_zeroed_on_reuse() {
+        let mut m = GuestMem::new();
+        let a = m.kmalloc(8).unwrap();
+        m.write(a, 8, u64::MAX).unwrap();
+        m.kfree(a, 8).unwrap();
+        let b = m.kmalloc(8).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(m.read(b, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn snapshot_clone_is_independent() {
+        let mut m = GuestMem::new();
+        let a = m.kmalloc(8).unwrap();
+        m.write(a, 8, 7).unwrap();
+        let snap = m.clone();
+        m.write(a, 8, 9).unwrap();
+        assert_eq!(snap.read(a, 8).unwrap(), 7);
+        assert_eq!(m.read(a, 8).unwrap(), 9);
+    }
+
+    #[test]
+    fn stack_mask_formula_matches_paper() {
+        let tid = 1;
+        let base = stack_base(tid);
+        let sp = base + 0x123;
+        assert_eq!(stack_range_of(sp), (base, base + STACK_SIZE));
+        assert!(is_stack_addr(sp));
+        assert!(!is_stack_addr(HEAP_BASE));
+    }
+
+    #[test]
+    fn oom_on_giant_allocation() {
+        let mut m = GuestMem::new();
+        assert!(matches!(m.kmalloc(1 << 20), Err(Fault::Oom)));
+    }
+
+    #[test]
+    fn heap_exhaustion_is_oom_not_panic() {
+        let mut m = GuestMem::new();
+        let mut n = 0u64;
+        loop {
+            match m.kmalloc(4096) {
+                Ok(_) => n += 1,
+                Err(Fault::Oom) => break,
+                Err(other) => panic!("unexpected fault {other:?}"),
+            }
+        }
+        assert!(n > 100, "expected many 4 KiB allocations, got {n}");
+    }
+}

@@ -1,0 +1,448 @@
+//! Interleaving schedulers.
+//!
+//! The coordinator consults a [`Scheduler`] after every memory access; the
+//! scheduler answers "should the running thread be preempted here?" and, on
+//! preemption, which thread runs next. Four schedulers are provided:
+//!
+//! * [`FreeRun`] — never preempts; used for sequential profiling (§4.1).
+//! * [`RandomSched`] — preempts with fixed probability at every access; the
+//!   unguided baseline.
+//! * [`SkiSched`] — SKI's behavior as characterized in §5.4: yields whenever
+//!   it observes *any* access by an instruction involved in a PMC,
+//!   "regardless of memory targets".
+//! * [`SnowboardSched`] — the paper's Algorithm 2: yields only on precise PMC
+//!   accesses (site *and* memory range), learns `flags` (the access observed
+//!   right before a PMC access) so later trials can preempt just *before* the
+//!   PMC access (`pmc_access_coming`), and accepts incidental PMCs discovered
+//!   mid-campaign.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::access::{Access, AccessKind};
+use crate::mem::MAX_THREADS;
+use crate::site::Site;
+
+/// One side of a PMC rendered as a concrete access pattern the scheduler can
+/// match executions against: instruction identity plus memory range and
+/// access type.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct HintAccess {
+    /// Instruction identity of the access.
+    pub site: Site,
+    /// Read or write side.
+    pub kind: AccessKind,
+    /// Start of the memory range.
+    pub addr: u64,
+    /// Length of the memory range in bytes.
+    pub len: u8,
+}
+
+impl HintAccess {
+    /// True if `a` is this pattern: same instruction, same access type, and
+    /// overlapping memory range.
+    pub fn matches(&self, a: &Access) -> bool {
+        self.site == a.site
+            && self.kind == a.kind
+            && self.addr < a.end()
+            && a.addr < self.addr + u64::from(self.len)
+    }
+}
+
+/// Decides interleavings. Called by the execution coordinator.
+pub trait Scheduler {
+    /// Invoked after thread `t` completed `access`. Return true to preempt.
+    fn after_access(&mut self, t: usize, access: &Access) -> bool {
+        let _ = (t, access);
+        false
+    }
+
+    /// Chooses the next thread among `candidates` (non-empty) when `prev` is
+    /// preempted, blocked, or finished.
+    fn pick(&mut self, prev: usize, candidates: &[usize]) -> usize;
+
+    /// Notification of a liveness-forced preemption of thread `t`.
+    fn on_forced_switch(&mut self, _t: usize) {}
+}
+
+/// Runs each thread to completion without voluntary preemption.
+#[derive(Default)]
+pub struct FreeRun;
+
+impl Scheduler for FreeRun {
+    fn pick(&mut self, _prev: usize, candidates: &[usize]) -> usize {
+        candidates[0]
+    }
+}
+
+/// Preempts with probability `p` after every access — unguided exploration.
+pub struct RandomSched {
+    rng: StdRng,
+    p: f64,
+}
+
+impl RandomSched {
+    /// Creates a random scheduler with switch probability `p`.
+    pub fn new(seed: u64, p: f64) -> Self {
+        RandomSched {
+            rng: StdRng::seed_from_u64(seed),
+            p,
+        }
+    }
+}
+
+impl Scheduler for RandomSched {
+    fn after_access(&mut self, _t: usize, _access: &Access) -> bool {
+        self.rng.gen_bool(self.p)
+    }
+
+    fn pick(&mut self, _prev: usize, candidates: &[usize]) -> usize {
+        candidates[self.rng.gen_range(0..candidates.len())]
+    }
+}
+
+/// SKI-style scheduling: preempt (with probability 1/2) after any access
+/// whose *instruction* is involved in the PMC under test, regardless of the
+/// memory target (§5.4's characterization of SKI's extra vCPU switches).
+pub struct SkiSched {
+    sites: HashSet<Site>,
+    rng: StdRng,
+}
+
+impl SkiSched {
+    /// Creates a SKI scheduler watching the given instruction sites.
+    pub fn new(seed: u64, sites: impl IntoIterator<Item = Site>) -> Self {
+        SkiSched {
+            sites: sites.into_iter().collect(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Reseeds the randomness for a new trial.
+    pub fn begin_trial(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+}
+
+impl Scheduler for SkiSched {
+    fn after_access(&mut self, _t: usize, access: &Access) -> bool {
+        self.sites.contains(&access.site) && self.rng.gen_bool(0.5)
+    }
+
+    fn pick(&mut self, _prev: usize, candidates: &[usize]) -> usize {
+        candidates[self.rng.gen_range(0..candidates.len())]
+    }
+}
+
+/// PCT (Probabilistic Concurrency Testing, Burckhardt et al. ASPLOS'10):
+/// the randomized-priority scheduler SKI generalizes to kernels (§7).
+///
+/// Threads get random initial priorities; `d - 1` change points are drawn
+/// uniformly from the expected instruction count `k`, and when execution
+/// reaches a change point the running thread's priority drops below every
+/// other. The highest-priority runnable thread always runs. PCT guarantees
+/// a `1/(n·k^(d-1))` probability of hitting any bug of depth `d`.
+pub struct PctSched {
+    priorities: [u64; MAX_THREADS],
+    change_points: Vec<u64>,
+    executed: u64,
+    next_low: u64,
+    rng: StdRng,
+}
+
+impl PctSched {
+    /// Creates a PCT scheduler for executions of roughly `k` accesses and
+    /// bug depth `d` (the number of ordering constraints to hit).
+    pub fn new(seed: u64, k: u64, d: u32) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut priorities = [0u64; MAX_THREADS];
+        for p in priorities.iter_mut() {
+            // High random starting priorities, well above change-point lows.
+            *p = rng.gen_range(1_000_000..2_000_000);
+        }
+        let mut change_points: Vec<u64> = (0..d.saturating_sub(1))
+            .map(|_| rng.gen_range(0..k.max(1)))
+            .collect();
+        change_points.sort_unstable();
+        PctSched {
+            priorities,
+            change_points,
+            executed: 0,
+            next_low: 1000,
+            rng,
+        }
+    }
+
+    /// Reseeds for a new trial with fresh priorities and change points.
+    pub fn begin_trial(&mut self, seed: u64, k: u64, d: u32) {
+        *self = PctSched::new(seed, k, d);
+    }
+}
+
+impl Scheduler for PctSched {
+    fn after_access(&mut self, t: usize, _access: &Access) -> bool {
+        self.executed += 1;
+        if self
+            .change_points
+            .first()
+            .is_some_and(|cp| self.executed > *cp)
+        {
+            self.change_points.remove(0);
+            // Drop the running thread below everyone else.
+            self.next_low = self.next_low.saturating_sub(1);
+            self.priorities[t] = self.next_low;
+            return true;
+        }
+        false
+    }
+
+    fn pick(&mut self, _prev: usize, candidates: &[usize]) -> usize {
+        *candidates
+            .iter()
+            .max_by_key(|t| self.priorities[**t])
+            .expect("non-empty candidate set")
+    }
+
+    fn on_forced_switch(&mut self, t: usize) {
+        // A stuck thread loses its priority so progress can happen.
+        self.next_low = self.next_low.saturating_sub(1);
+        self.priorities[t] = self.next_low;
+        let _ = &self.rng;
+    }
+}
+
+/// The Snowboard scheduler: Algorithm 2 of the paper.
+///
+/// The scheduler holds the set of PMC access patterns under test
+/// (`current_pmcs`), and `flags` — per-thread (site, addr) pairs observed
+/// immediately *before* a PMC access in an earlier trial. Preemption is
+/// considered non-deterministically when:
+///
+/// 1. the thread just performed an access matching `flags`
+///    (`pmc_access_coming` — a PMC access is probably next), or
+/// 2. the thread just performed a PMC access itself
+///    (`performed_pmc_access`), in which case the preceding access is
+///    recorded into `flags` for future trials.
+///
+/// `flags` persist across the trials of one concurrent test; the randomness
+/// is reseeded per trial exactly as Algorithm 2's
+/// `random.seed(SEED + trial)`. The scheduler is `Clone` so campaign code
+/// can checkpoint its state before a trial and re-run that exact trial
+/// under a recorder (see `replay`).
+#[derive(Clone)]
+pub struct SnowboardSched {
+    pmcs: Vec<HintAccess>,
+    flags: HashSet<(Site, u64)>,
+    last: [Option<(Site, u64)>; MAX_THREADS],
+    rng: StdRng,
+    switch_p: f64,
+    learn_flags: bool,
+}
+
+impl SnowboardSched {
+    /// Creates a scheduler for the given PMC access patterns.
+    pub fn new(seed: u64, pmcs: impl IntoIterator<Item = HintAccess>) -> Self {
+        SnowboardSched {
+            pmcs: pmcs.into_iter().collect(),
+            flags: HashSet::new(),
+            last: [None; MAX_THREADS],
+            rng: StdRng::seed_from_u64(seed),
+            switch_p: 0.5,
+            learn_flags: true,
+        }
+    }
+
+    /// Ablation variant: disables `flags` learning, so only
+    /// `performed_pmc_access` (post-access) preemption remains and the
+    /// `pmc_access_coming` pre-access preemption never fires.
+    pub fn without_flag_learning(seed: u64, pmcs: impl IntoIterator<Item = HintAccess>) -> Self {
+        let mut s = Self::new(seed, pmcs);
+        s.learn_flags = false;
+        s
+    }
+
+    /// Starts a new trial: reseeds randomness (`random.seed(SEED + trial)`)
+    /// and clears per-execution state. `flags` and the PMC set persist.
+    pub fn begin_trial(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+        self.last = [None; MAX_THREADS];
+    }
+
+    /// Adds an incidentally discovered PMC's access patterns to the watch
+    /// set (Algorithm 2 line 27).
+    pub fn add_pmc(&mut self, accesses: impl IntoIterator<Item = HintAccess>) {
+        self.pmcs.extend(accesses);
+    }
+
+    /// Number of `flags` learned so far (diagnostics).
+    pub fn flag_count(&self) -> usize {
+        self.flags.len()
+    }
+
+    fn matches_pmc(&self, a: &Access) -> bool {
+        self.pmcs.iter().any(|p| p.matches(a))
+    }
+}
+
+impl Scheduler for SnowboardSched {
+    fn after_access(&mut self, t: usize, access: &Access) -> bool {
+        let mut switch = false;
+        // `pmc_access_coming`: the last trial saw a PMC access right after
+        // this (site, addr); consider yielding before it happens.
+        if self.flags.contains(&(access.site, access.addr)) {
+            switch = self.rng.gen_bool(self.switch_p);
+        }
+        // `performed_pmc_access`: remember the preceding access as a flag
+        // and consider yielding right after the PMC access.
+        if self.matches_pmc(access) {
+            if self.learn_flags {
+                if let Some(prev) = self.last[t] {
+                    self.flags.insert(prev);
+                }
+            }
+            switch = switch || self.rng.gen_bool(self.switch_p);
+        }
+        self.last[t] = Some((access.site, access.addr));
+        switch
+    }
+
+    fn pick(&mut self, _prev: usize, candidates: &[usize]) -> usize {
+        candidates[self.rng.gen_range(0..candidates.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site;
+
+    fn acc(site: Site, addr: u64, kind: AccessKind) -> Access {
+        Access {
+            seq: 0,
+            thread: 0,
+            site,
+            kind,
+            addr,
+            len: 8,
+            value: 0,
+            atomic: false,
+            locks: vec![],
+            rcu_depth: 0,
+        }
+    }
+
+    #[test]
+    fn hint_matching_requires_site_kind_and_overlap() {
+        let s = site!("sched:w");
+        let h = HintAccess {
+            site: s,
+            kind: AccessKind::Write,
+            addr: 100,
+            len: 8,
+        };
+        assert!(h.matches(&acc(s, 104, AccessKind::Write)));
+        assert!(!h.matches(&acc(s, 104, AccessKind::Read)));
+        assert!(!h.matches(&acc(s, 108, AccessKind::Write)));
+        assert!(!h.matches(&acc(site!("sched:other"), 100, AccessKind::Write)));
+    }
+
+    #[test]
+    fn free_run_never_switches() {
+        let mut s = FreeRun;
+        let a = acc(site!("fr"), 0x2000, AccessKind::Read);
+        for _ in 0..100 {
+            assert!(!s.after_access(0, &a));
+        }
+        assert_eq!(s.pick(0, &[1, 2]), 1);
+    }
+
+    #[test]
+    fn snowboard_learns_flags_from_pmc_accesses() {
+        let w = site!("sb:pmc_write");
+        let prev = site!("sb:prelude");
+        let h = HintAccess {
+            site: w,
+            kind: AccessKind::Write,
+            addr: 0x2000,
+            len: 8,
+        };
+        let mut s = SnowboardSched::new(7, [h]);
+        s.begin_trial(7);
+        // A non-PMC access followed by the PMC access records the former as
+        // a flag.
+        s.after_access(0, &acc(prev, 0x3000, AccessKind::Read));
+        s.after_access(0, &acc(w, 0x2000, AccessKind::Write));
+        assert_eq!(s.flag_count(), 1);
+        // Flags persist across trials.
+        s.begin_trial(8);
+        assert_eq!(s.flag_count(), 1);
+    }
+
+    #[test]
+    fn snowboard_switch_decisions_are_seed_deterministic() {
+        let w = site!("sb:det_write");
+        let h = HintAccess {
+            site: w,
+            kind: AccessKind::Write,
+            addr: 0x2000,
+            len: 8,
+        };
+        let run = |seed: u64| {
+            let mut s = SnowboardSched::new(seed, [h]);
+            s.begin_trial(seed);
+            (0..32)
+                .map(|i| s.after_access(0, &acc(w, 0x2000 + (i % 2), AccessKind::Write)))
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(3), run(3));
+        // Sanity: some trial actually switches somewhere.
+        assert!(run(3).iter().any(|b| *b));
+    }
+
+    #[test]
+    fn pct_runs_highest_priority_and_demotes_at_change_points() {
+        let mut s = PctSched::new(5, 10, 3);
+        // Deterministic pick: the same candidates always yield the same
+        // winner before any change point fires.
+        let first = s.pick(0, &[0, 1]);
+        assert_eq!(first, s.pick(0, &[0, 1]));
+        // Drive past every change point; the running thread must
+        // eventually be demoted (a switch request).
+        let a = acc(site!("pct:x"), 0x2000, AccessKind::Read);
+        let mut demoted = false;
+        for _ in 0..20 {
+            demoted |= s.after_access(first, &a);
+        }
+        assert!(demoted, "change points must fire within k accesses");
+        // After demotion the other thread wins.
+        assert_ne!(s.pick(first, &[0, 1]), first);
+    }
+
+    #[test]
+    fn pct_is_seed_deterministic() {
+        let run = |seed| {
+            let mut s = PctSched::new(seed, 50, 4);
+            let a = acc(site!("pct:d"), 0x2000, AccessKind::Read);
+            (0..60).map(|_| s.after_access(0, &a)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn ski_switches_on_site_regardless_of_address() {
+        let s0 = site!("ski:w");
+        let mut s = SkiSched::new(1, [s0]);
+        let mut any = false;
+        for i in 0..64 {
+            any |= s.after_access(0, &acc(s0, 0x9000 + i * 8, AccessKind::Write));
+        }
+        assert!(any, "SKI should sometimes switch at a watched site");
+        let mut never = false;
+        for _ in 0..64 {
+            never |= s.after_access(0, &acc(site!("ski:other"), 0x9000, AccessKind::Write));
+        }
+        assert!(!never, "SKI must ignore unwatched sites");
+    }
+}

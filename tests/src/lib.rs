@@ -1,0 +1,17 @@
+//! Shared helpers for the cross-crate integration tests (in `tests/tests/`).
+
+use sb_kernel::{boot, BootedKernel, KernelConfig};
+use std::sync::OnceLock;
+
+/// A lazily booted 5.12-rc3 kernel shared across tests in one process
+/// (boot is deterministic, so sharing is safe and fast).
+pub fn shared_rc_kernel() -> &'static BootedKernel {
+    static K: OnceLock<BootedKernel> = OnceLock::new();
+    K.get_or_init(|| boot(KernelConfig::v5_12_rc3()))
+}
+
+/// A lazily booted 5.3.10 kernel.
+pub fn shared_old_kernel() -> &'static BootedKernel {
+    static K: OnceLock<BootedKernel> = OnceLock::new();
+    K.get_or_init(|| boot(KernelConfig::v5_3_10()))
+}
