@@ -158,7 +158,7 @@ fn main() {
         let exemplars = p.exemplars(Strategy::SInsPair, order);
         let mut cfg = scale.campaign_cfg(77);
         cfg.incidental = incidental;
-        let report = p.campaign(&exemplars, &cfg);
+        let report = p.campaign(&exemplars, &cfg).expect("ablation campaign");
         let mean_day = if report.issues.is_empty() || report.total_steps == 0 {
             f64::NAN
         } else {

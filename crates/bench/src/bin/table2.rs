@@ -30,7 +30,9 @@ fn main() {
             ids.len(),
             scale.max_tested
         );
-        let report = p.campaign(&ids, &scale.campaign_cfg(99));
+        let report = p
+            .campaign(&ids, &scale.campaign_cfg(99))
+            .expect("combined campaign");
         eprintln!(
             "[{}] tested {} PMCs, {} executions, accuracy {:.2}",
             config.version,

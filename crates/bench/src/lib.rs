@@ -74,6 +74,7 @@ impl Scale {
             workers: self.workers,
             stop_on_finding: true,
             incidental: true,
+            ..CampaignCfg::default()
         }
     }
 }
@@ -104,7 +105,17 @@ pub fn run_strategy(
     seed: u64,
 ) -> CampaignReport {
     let exemplars = p.exemplars(strategy, order);
-    p.campaign(&exemplars, &scale.campaign_cfg(seed))
+    let report = p
+        .campaign(&exemplars, &scale.campaign_cfg(seed))
+        .expect("benchmark campaign");
+    if !report.quarantined.is_empty() {
+        eprintln!(
+            "[warn] {} quarantined job(s) excluded from {} results",
+            report.quarantined.len(),
+            strategy
+        );
+    }
+    report
 }
 
 /// Formats the "issues found (days)" cell of Table 3: triaged bug ids with
@@ -198,6 +209,7 @@ mod tests {
             }],
             total_steps: 700,
             executions: 1,
+            quarantined: vec![],
         };
         assert_eq!(issues_cell(&report), "#13 (1.0)");
     }

@@ -1,5 +1,7 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
+use std::path::PathBuf;
+
 use sb_kernel::{KernelConfig, KernelVersion};
 use snowboard::cluster::Strategy;
 
@@ -29,33 +31,49 @@ OPTIONS (hunt):
     --trials <N>                  trials per PMC     [default: 24]
     --workers <N>                 worker threads     [default: 4]
     --random-order                randomize cluster order
+    --retries <N>                 attempts per job before quarantine [default: 3]
+    --job-deadline <SECS>         per-job wall-clock watchdog [default: 60]
+    --checkpoint <PATH>           write progress checkpoints to PATH
+    --resume <PATH>               resume from a checkpoint written by --checkpoint
 
 OPTIONS (strategies): --version, --patched, --seed, --corpus
 OPTIONS (repro):      --bug <1|2|3|4|11|12> (console-detectable bugs)
 ";
 
+/// Options for the `hunt` command.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HuntOpts {
+    /// Kernel configuration.
+    pub config: KernelConfig,
+    /// Clustering strategy.
+    pub strategy: Strategy,
+    /// Random seed.
+    pub seed: u64,
+    /// Corpus target size.
+    pub corpus: usize,
+    /// Max tested PMCs.
+    pub budget: usize,
+    /// Trials per PMC.
+    pub trials: u32,
+    /// Worker threads.
+    pub workers: usize,
+    /// Random cluster order instead of uncommon-first.
+    pub random_order: bool,
+    /// Attempts per job before quarantine.
+    pub retries: u32,
+    /// Per-job wall-clock deadline in seconds (0 = unbounded).
+    pub job_deadline_secs: u64,
+    /// Checkpoint file to write progress to.
+    pub checkpoint: Option<PathBuf>,
+    /// Checkpoint file to resume from.
+    pub resume: Option<PathBuf>,
+}
+
 /// Parsed command.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Cmd {
     /// Full pipeline + campaign.
-    Hunt {
-        /// Kernel configuration.
-        config: KernelConfig,
-        /// Clustering strategy.
-        strategy: Strategy,
-        /// Random seed.
-        seed: u64,
-        /// Corpus target size.
-        corpus: usize,
-        /// Max tested PMCs.
-        budget: usize,
-        /// Trials per PMC.
-        trials: u32,
-        /// Worker threads.
-        workers: usize,
-        /// Random cluster order instead of uncommon-first.
-        random_order: bool,
-    },
+    Hunt(HuntOpts),
     /// Cluster-count summary.
     Strategies {
         /// Kernel configuration.
@@ -151,6 +169,10 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
             let mut trials = 24u32;
             let mut workers = 4usize;
             let mut random_order = false;
+            let mut retries = 3u32;
+            let mut job_deadline_secs = 60u64;
+            let mut checkpoint: Option<PathBuf> = None;
+            let mut resume: Option<PathBuf> = None;
             let mut i = 1;
             while i < argv.len() {
                 match argv[i].as_str() {
@@ -171,6 +193,22 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                         workers = parse_num(take_value(argv, &mut i, "--workers")?, "--workers")?
                     }
                     "--random-order" if is_hunt => random_order = true,
+                    "--retries" if is_hunt => {
+                        retries = parse_num(take_value(argv, &mut i, "--retries")?, "--retries")?;
+                        if retries == 0 {
+                            return Err("--retries must be at least 1 (1 = no retries)".into());
+                        }
+                    }
+                    "--job-deadline" if is_hunt => {
+                        job_deadline_secs =
+                            parse_num(take_value(argv, &mut i, "--job-deadline")?, "--job-deadline")?
+                    }
+                    "--checkpoint" if is_hunt => {
+                        checkpoint = Some(PathBuf::from(take_value(argv, &mut i, "--checkpoint")?))
+                    }
+                    "--resume" if is_hunt => {
+                        resume = Some(PathBuf::from(take_value(argv, &mut i, "--resume")?))
+                    }
                     other => return Err(format!("unknown option '{other}'")),
                 }
                 i += 1;
@@ -183,7 +221,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                 config = config.patched();
             }
             if is_hunt {
-                Ok(Cmd::Hunt {
+                Ok(Cmd::Hunt(HuntOpts {
                     config,
                     strategy,
                     seed,
@@ -192,7 +230,11 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                     trials,
                     workers,
                     random_order,
-                })
+                    retries,
+                    job_deadline_secs,
+                    checkpoint,
+                    resume,
+                }))
             } else {
                 Ok(Cmd::Strategies { config, seed, corpus })
             }
@@ -216,14 +258,45 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Cmd::Hunt { config, strategy, seed, budget, trials, random_order, .. } => {
-                assert_eq!(config.version, KernelVersion::V5_3_10);
-                assert_eq!(strategy, Strategy::SIns);
-                assert_eq!((seed, budget, trials), (7, 50, 8));
-                assert!(random_order);
+            Cmd::Hunt(o) => {
+                assert_eq!(o.config.version, KernelVersion::V5_3_10);
+                assert_eq!(o.strategy, Strategy::SIns);
+                assert_eq!((o.seed, o.budget, o.trials), (7, 50, 8));
+                assert!(o.random_order);
+                // Fault-tolerance defaults.
+                assert_eq!(o.retries, 3);
+                assert_eq!(o.job_deadline_secs, 60);
+                assert_eq!(o.checkpoint, None);
+                assert_eq!(o.resume, None);
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_fault_tolerance_flags() {
+        let cmd = parse(&argv(
+            "hunt --retries 5 --job-deadline 120 --checkpoint /tmp/cp.json --resume /tmp/old.json",
+        ))
+        .unwrap();
+        match cmd {
+            Cmd::Hunt(o) => {
+                assert_eq!(o.retries, 5);
+                assert_eq!(o.job_deadline_secs, 120);
+                assert_eq!(o.checkpoint, Some(PathBuf::from("/tmp/cp.json")));
+                assert_eq!(o.resume, Some(PathBuf::from("/tmp/old.json")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_zero_retries_and_bare_flags() {
+        assert!(parse(&argv("hunt --retries 0")).is_err());
+        assert!(parse(&argv("hunt --checkpoint")).is_err());
+        assert!(parse(&argv("hunt --job-deadline nope")).is_err());
+        // These are hunt-only options.
+        assert!(parse(&argv("strategies --retries 2")).is_err());
     }
 
     #[test]

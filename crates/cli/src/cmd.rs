@@ -10,9 +10,9 @@ use snowboard::metrics::{hits_bug, interleavings_to_expose, SchedKind};
 use snowboard::pmc::identify;
 use snowboard::profile::profile_corpus;
 use snowboard::select::ClusterOrder;
-use snowboard::{CampaignCfg, Pipeline, PipelineCfg};
+use snowboard::{CampaignCfg, CheckpointCfg, JobBudget, Pipeline, PipelineCfg, RetryPolicy};
 
-use crate::args::{Cmd, USAGE};
+use crate::args::{Cmd, HuntOpts, USAGE};
 
 /// Dispatches a parsed command.
 pub fn run(cmd: Cmd) -> ExitCode {
@@ -24,16 +24,7 @@ pub fn run(cmd: Cmd) -> ExitCode {
         Cmd::ListBugs => list_bugs(),
         Cmd::Strategies { config, seed, corpus } => strategies(config, seed, corpus),
         Cmd::Repro { bug } => repro(bug),
-        Cmd::Hunt {
-            config,
-            strategy,
-            seed,
-            corpus,
-            budget,
-            trials,
-            workers,
-            random_order,
-        } => hunt(config, strategy, seed, corpus, budget, trials, workers, random_order),
+        Cmd::Hunt(opts) => hunt(opts),
     }
 }
 
@@ -81,17 +72,21 @@ fn strategies(config: KernelConfig, seed: u64, corpus: usize) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-#[allow(clippy::too_many_arguments)]
-fn hunt(
-    config: KernelConfig,
-    strategy: snowboard::cluster::Strategy,
-    seed: u64,
-    corpus: usize,
-    budget: usize,
-    trials: u32,
-    workers: usize,
-    random_order: bool,
-) -> ExitCode {
+fn hunt(opts: HuntOpts) -> ExitCode {
+    let HuntOpts {
+        config,
+        strategy,
+        seed,
+        corpus,
+        budget,
+        trials,
+        workers,
+        random_order,
+        retries,
+        job_deadline_secs,
+        checkpoint,
+        resume,
+    } = opts;
     eprintln!("[hunt] preparing pipeline ({:?})...", config.version);
     let p = Pipeline::prepare(
         config,
@@ -124,14 +119,52 @@ fn hunt(
             workers,
             stop_on_finding: true,
             incidental: true,
+            retry: RetryPolicy {
+                max_attempts: retries,
+                ..RetryPolicy::default()
+            },
+            budget: JobBudget {
+                max_steps: None,
+                deadline: (job_deadline_secs > 0)
+                    .then(|| std::time::Duration::from_secs(job_deadline_secs)),
+            },
+            checkpoint: checkpoint.map(CheckpointCfg::new),
+            resume_from: resume,
+            fault_plan: Default::default(),
         },
     );
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprint!("error: campaign failed:");
+            for line in e.chain() {
+                eprint!(" {line};");
+            }
+            eprintln!();
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
         "tested {} PMCs in {} executions; {:.1}% exercised their predicted channel",
         report.tested(),
         report.executions,
         100.0 * report.accuracy()
     );
+    if !report.quarantined.is_empty() {
+        println!("quarantined {} job(s):", report.quarantined.len());
+        for (kind, n) in report.quarantine_histogram() {
+            println!("  {kind}: {n}");
+        }
+        for q in &report.quarantined {
+            let pmc = q.pmc.map_or("no PMC".to_string(), |id| format!("PMC {id}"));
+            println!(
+                "  job {} ({pmc}), {} attempt(s): {}",
+                q.job,
+                q.attempts,
+                q.chain.join(" <- ")
+            );
+        }
+    }
     if report.issues.is_empty() {
         println!("no issues found");
         return ExitCode::SUCCESS;

@@ -143,10 +143,8 @@ pub fn configfs_lookup(env: &Env<'_>, i: u8) -> KResult<u64> {
             .read_u64(site!("configfs_lookup:inner"), it + item::INNER)?;
         // Dereference the inner object's ops tag; a torn-down item has
         // inner == 0 and this faults — the paper's null-pointer oops.
-        let ops = env
-            .ctx
-            .read_u32(site!("configfs_lookup:use"), inn + inner::OPS)?;
-        ops
+        env.ctx
+            .read_u32(site!("configfs_lookup:use"), inn + inner::OPS)?
     };
     if !buggy {
         env.ctx.unlock(dl)?;

@@ -49,7 +49,6 @@ pub fn boot_all(ctx: &Ctx, syms: &mut Symbols, config: KernelConfig) -> KResult<
     pending.extend(blkdev::boot(&env)?);
     pending.extend(tty::boot(&env)?);
     pending.extend(sound::boot(&env)?);
-    drop(env);
     for (name, addr) in pending {
         syms.register(name, addr);
     }

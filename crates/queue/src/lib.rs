@@ -7,10 +7,60 @@
 //! the shape: a producer enqueues concurrent-test jobs, a pool of workers
 //! (each owning its own executor/VM state) drains them, and results flow
 //! back tagged with their job index so aggregation is order-independent.
+//!
+//! Fault tolerance is part of that shape. A campaign meant to run for days
+//! (§4.4) cannot die because one job panicked or one queue handle was
+//! dropped, so every failure mode at this layer is typed rather than
+//! propagated as a crash:
+//!
+//! * [`WorkQueue::push`] returns [`ClosedQueue`] instead of panicking, and
+//!   recovers from mutex poisoning (a panicking producer must not wedge the
+//!   other producers).
+//! * [`run_jobs_fallible`] catches panics at the worker boundary
+//!   ([`JobError::Panic`]) so one poisoned job neither kills the pool nor
+//!   deadlocks `pop` for the remaining workers, and reports jobs that could
+//!   not be enqueued as [`JobError::Rejected`].
 
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
 
 use crossbeam::channel;
+
+/// Error returned by [`WorkQueue::push`] when the queue was already closed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ClosedQueue;
+
+impl std::fmt::Display for ClosedQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "work queue is closed")
+    }
+}
+
+impl std::error::Error for ClosedQueue {}
+
+/// Why a job produced no result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The worker executing the job panicked; the payload message is
+    /// captured and the worker itself survives to take the next job.
+    Panic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The job could not be enqueued because the queue closed first.
+    Rejected,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panic { message } => write!(f, "worker panicked: {message}"),
+            JobError::Rejected => write!(f, "job rejected: queue closed before enqueue"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
 
 /// A multi-producer multi-consumer job queue with a typed result channel.
 ///
@@ -20,9 +70,10 @@ use crossbeam::channel;
 /// use sb_queue::WorkQueue;
 ///
 /// let q = WorkQueue::new();
-/// q.push(21u64);
-/// q.push(2u64);
+/// q.push(21u64).expect("queue open");
+/// q.push(2u64).expect("queue open");
 /// q.close();
+/// assert!(q.push(3u64).is_err(), "push after close is a typed error");
 /// let doubled: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|j| j * 2).collect();
 /// assert_eq!(doubled, vec![42, 4]);
 /// ```
@@ -47,24 +98,33 @@ impl<T> WorkQueue<T> {
         }
     }
 
-    /// Enqueues a job.
+    /// Enqueues a job, or reports that the queue is closed.
     ///
-    /// # Panics
-    ///
-    /// Panics if the queue was already closed.
-    pub fn push(&self, job: T) {
-        self.tx
-            .lock()
-            .expect("queue poisoned")
-            .as_ref()
-            .expect("queue already closed")
-            .send(job)
-            .expect("queue receiver dropped");
+    /// A poisoned producer mutex (a producer thread panicked mid-push) is
+    /// recovered rather than propagated: the sender state itself is always
+    /// valid, the poison flag only records that *some* thread died near it.
+    pub fn push(&self, job: T) -> Result<(), ClosedQueue> {
+        let guard = self.tx.lock().unwrap_or_else(PoisonError::into_inner);
+        match guard.as_ref() {
+            Some(tx) => tx.send(job).map_err(|_| ClosedQueue),
+            None => Err(ClosedQueue),
+        }
     }
 
-    /// Closes the queue: `pop` returns `None` once drained.
+    /// Closes the queue: `pop` returns `None` once drained, `push` fails.
     pub fn close(&self) {
-        self.tx.lock().expect("queue poisoned").take();
+        self.tx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+    }
+
+    /// True if [`WorkQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.tx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_none()
     }
 
     /// Dequeues the next job, blocking; `None` once closed and drained.
@@ -83,6 +143,139 @@ impl<T> WorkQueue<T> {
     }
 }
 
+/// A streaming result callback: `(job index, result)`, called on the
+/// producer thread as each result lands.
+pub type ResultHook<'a, R> = Box<dyn FnMut(usize, &Result<R, JobError>) + 'a>;
+
+/// Options for [`run_jobs_fallible`].
+///
+/// The defaults reproduce plain pool behavior; the hooks exist so campaign
+/// drivers can stream results (periodic checkpointing) and tests can inject
+/// queue-closure faults deterministically.
+pub struct PoolOpts<'a, R> {
+    /// Invoked on the producer thread as each result lands, with the job
+    /// index and its result. Rejected jobs are reported first (at dispatch
+    /// time), then completions in completion order.
+    pub on_result: Option<ResultHook<'a, R>>,
+    /// Close the queue right before enqueuing this job index; that job and
+    /// every later one complete as [`JobError::Rejected`]. Fault-injection
+    /// hook: models the distributed queue disappearing mid-campaign.
+    pub close_before: Option<usize>,
+}
+
+impl<R> Default for PoolOpts<'_, R> {
+    fn default() -> Self {
+        PoolOpts {
+            on_result: None,
+            close_before: None,
+        }
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs `jobs` across `workers` threads, each with its own worker-local
+/// state built by `init`, preserving job order in the returned results and
+/// converting every per-job failure into a typed [`JobError`].
+///
+/// Panics are caught at the worker boundary: the panicking job yields
+/// `Err(JobError::Panic)`, the worker's state is discarded (it may be
+/// corrupt) and rebuilt with `init` for the next job, and the pool keeps
+/// draining — one poisoned job can no longer stall its siblings waiting on
+/// `pop`, which is exactly the liveness property §4.4 builds campaigns on.
+pub fn run_jobs_fallible<J, R, S>(
+    jobs: Vec<J>,
+    workers: usize,
+    init: impl Fn() -> S + Sync,
+    work: impl Fn(&mut S, J) -> R + Sync,
+    mut opts: PoolOpts<'_, R>,
+) -> Vec<Result<R, JobError>>
+where
+    J: Send,
+    R: Send,
+{
+    let workers = workers.max(1);
+    let n = jobs.len();
+    let queue: WorkQueue<(usize, J)> = WorkQueue::new();
+    let mut slots: Vec<Option<Result<R, JobError>>> = (0..n).map(|_| None).collect();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, Result<R, JobError>)>();
+    crossbeam::scope(|scope| {
+        let mut pending = 0usize;
+        for (i, j) in jobs.into_iter().enumerate() {
+            if opts.close_before == Some(i) {
+                queue.close();
+            }
+            match queue.push((i, j)) {
+                Ok(()) => pending += 1,
+                Err(ClosedQueue) => {
+                    let r = Err(JobError::Rejected);
+                    if let Some(cb) = opts.on_result.as_mut() {
+                        cb(i, &r);
+                    }
+                    slots[i] = Some(r);
+                }
+            }
+        }
+        queue.close();
+        for _ in 0..workers {
+            let queue = &queue;
+            let res_tx = res_tx.clone();
+            let init = &init;
+            let work = &work;
+            scope.spawn(move |_| {
+                let mut state: Option<S> = None;
+                while let Some((i, job)) = queue.pop() {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let s = state.get_or_insert_with(init);
+                        work(s, job)
+                    }));
+                    let r = match outcome {
+                        Ok(r) => Ok(r),
+                        Err(payload) => {
+                            // The worker-local state saw a panic mid-job;
+                            // rebuild it before the next job rather than
+                            // trusting a half-updated executor.
+                            state = None;
+                            Err(JobError::Panic {
+                                message: panic_message(payload),
+                            })
+                        }
+                    };
+                    if res_tx.send((i, r)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        for _ in 0..pending {
+            let Ok((i, r)) = res_rx.recv() else { break };
+            if let Some(cb) = opts.on_result.as_mut() {
+                cb(i, &r);
+            }
+            slots[i] = Some(r);
+        }
+    })
+    .expect("pool scope");
+    slots
+        .into_iter()
+        .map(|s| {
+            s.unwrap_or(Err(JobError::Panic {
+                message: "worker exited without reporting a result".to_owned(),
+            }))
+        })
+        .collect()
+}
+
 /// Runs `jobs` across `workers` threads, each with its own worker-local
 /// state built by `init`, preserving job order in the returned results.
 ///
@@ -90,6 +283,10 @@ impl<T> WorkQueue<T> {
 /// executor (its "machine B"), jobs are PMC test units, and results are
 /// re-assembled in submission order so campaigns are reproducible regardless
 /// of worker scheduling.
+///
+/// A worker panic is re-raised on the caller thread (after the pool drains,
+/// so sibling jobs still complete); callers that need to survive panics use
+/// [`run_jobs_fallible`] instead.
 ///
 /// # Examples
 ///
@@ -107,40 +304,13 @@ where
     J: Send,
     R: Send,
 {
-    assert!(workers >= 1, "need at least one worker");
-    let n = jobs.len();
-    let queue: WorkQueue<(usize, J)> = WorkQueue::new();
-    for (i, j) in jobs.into_iter().enumerate() {
-        queue.push((i, j));
-    }
-    queue.close();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            let queue = &queue;
-            let res_tx = res_tx.clone();
-            let init = &init;
-            let work = &work;
-            scope.spawn(move |_| {
-                let mut state = init();
-                while let Some((i, job)) = queue.pop() {
-                    let r = work(&mut state, job);
-                    if res_tx.send((i, r)).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-        drop(res_tx);
-    })
-    .expect("worker thread panicked");
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    while let Ok((i, r)) = res_rx.try_recv() {
-        slots[i] = Some(r);
-    }
-    slots
+    run_jobs_fallible(jobs, workers, init, work, PoolOpts::default())
         .into_iter()
-        .map(|s| s.expect("worker dropped a job"))
+        .enumerate()
+        .map(|(i, r)| match r {
+            Ok(r) => r,
+            Err(e) => panic!("worker thread panicked on job {i}: {e}"),
+        })
         .collect()
 }
 
@@ -153,7 +323,7 @@ mod tests {
     fn queue_delivers_in_order_single_consumer() {
         let q = WorkQueue::new();
         for i in 0..100 {
-            q.push(i);
+            q.push(i).expect("open queue");
         }
         q.close();
         let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
@@ -165,6 +335,38 @@ mod tests {
         let q: WorkQueue<u8> = WorkQueue::new();
         q.close();
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_after_close_is_a_typed_error() {
+        let q = WorkQueue::new();
+        q.push(1u8).expect("open queue");
+        assert!(!q.is_closed());
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.push(2u8), Err(ClosedQueue));
+        // Already-queued jobs still drain.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn poisoned_queue_mutex_recovers() {
+        let q = WorkQueue::new();
+        q.push(7u32).expect("open queue");
+        // Poison the producer mutex: panic while holding its guard.
+        let poison = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = q.tx.lock().unwrap();
+            panic!("producer died mid-push");
+        }));
+        assert!(poison.is_err());
+        assert!(q.tx.is_poisoned());
+        // Every operation still works: poisoning is recovered, not fatal.
+        q.push(8u32).expect("push after poison");
+        q.close();
+        assert_eq!(q.push(9u32), Err(ClosedQueue));
+        let drained: Vec<u32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![7, 8]);
     }
 
     #[test]
@@ -189,7 +391,8 @@ mod tests {
                 *state
             },
         );
-        assert_eq!(inits.load(Ordering::SeqCst), 4);
+        // Worker state is built lazily, so at most one init per worker.
+        assert!(inits.load(Ordering::SeqCst) <= 4);
         // Every job ran on some worker whose local counter advanced.
         assert_eq!(results.len(), 64);
         assert!(results.iter().all(|r| *r >= 1));
@@ -208,5 +411,110 @@ mod tests {
             *acc
         });
         assert_eq!(results, vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn fallible_pool_captures_panics_without_stalling_siblings() {
+        let jobs: Vec<u32> = (0..16).collect();
+        let results = run_jobs_fallible(
+            jobs,
+            4,
+            || (),
+            |(), j| {
+                if j == 3 {
+                    panic!("injected failure on job {j}");
+                }
+                j * 10
+            },
+            PoolOpts::default(),
+        );
+        assert_eq!(results.len(), 16);
+        for (i, r) in results.iter().enumerate() {
+            if i == 3 {
+                match r {
+                    Err(JobError::Panic { message }) => {
+                        assert!(message.contains("injected failure"), "got: {message}");
+                    }
+                    other => panic!("job 3 should have panicked, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*r, Ok(i as u32 * 10), "sibling job {i} must complete");
+            }
+        }
+    }
+
+    #[test]
+    fn fallible_pool_rebuilds_state_after_panic() {
+        let inits = AtomicUsize::new(0);
+        let results = run_jobs_fallible(
+            (0..8u32).collect(),
+            1,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                0u32
+            },
+            |state, j| {
+                *state += 1;
+                if j == 2 {
+                    panic!("state now suspect");
+                }
+                *state
+            },
+            PoolOpts::default(),
+        );
+        // One rebuild after the panic: the post-panic job sees a fresh state.
+        assert_eq!(inits.load(Ordering::SeqCst), 2);
+        assert_eq!(results[3], Ok(1), "fresh state after the panic");
+        assert!(matches!(results[2], Err(JobError::Panic { .. })));
+    }
+
+    #[test]
+    fn fallible_pool_rejects_jobs_after_queue_closure() {
+        let mut seen: Vec<(usize, bool)> = Vec::new();
+        let results = run_jobs_fallible(
+            (0..6u32).collect(),
+            2,
+            || (),
+            |(), j| j + 100,
+            PoolOpts {
+                on_result: Some(Box::new(|i, r: &Result<u32, JobError>| {
+                    seen.push((i, r.is_ok()));
+                })),
+                close_before: Some(3),
+            },
+        );
+        for (i, r) in results.iter().enumerate() {
+            if i < 3 {
+                assert_eq!(*r, Ok(i as u32 + 100));
+            } else {
+                assert_eq!(*r, Err(JobError::Rejected));
+            }
+        }
+        // Streaming callback saw every job exactly once.
+        let mut indices: Vec<usize> = seen.iter().map(|(i, _)| *i).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn run_jobs_propagates_worker_panics_after_draining() {
+        let done = AtomicUsize::new(0);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            run_jobs(
+                (0..8u32).collect(),
+                2,
+                || (),
+                |(), j| {
+                    if j == 1 {
+                        panic!("boom");
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                    j
+                },
+            )
+        }));
+        assert!(r.is_err(), "panic must surface to the caller");
+        // The pool drained the remaining jobs before re-raising.
+        assert_eq!(done.load(Ordering::SeqCst), 7);
     }
 }

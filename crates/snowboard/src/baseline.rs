@@ -91,6 +91,7 @@ fn run_baseline_test(
         steps: 0,
         first_finding_trial: None,
         repro_schedule: None,
+        attempts: 1,
     };
     let mut dedup = std::collections::HashSet::new();
     for trial in 0..trials {

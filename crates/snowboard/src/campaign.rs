@@ -7,8 +7,25 @@
 //! (`random.seed(SEED + trial)`), keeps the learned `flags`, feeds every
 //! execution to the bug detectors, and opportunistically adds incidental
 //! PMCs observed in the trial to the watch set (Algorithm 2 lines 26–27).
+//!
+//! The driver is fault tolerant, because a campaign sized like the paper's
+//! (days of wall clock across a worker fleet) will see individual jobs
+//! fail. Per job: a [`Watchdog`] bounds steps and wall-clock time (overrun
+//! → [`Error::Hang`]), worker panics are caught and classified, retryable
+//! failures get up to [`RetryPolicy::max_attempts`] attempts with
+//! exponential backoff and a deterministic per-attempt reseed
+//! ([`crate::retry::reseed`] — attempt 0 keeps the historical seed, so
+//! clean runs are bit-identical to pre-fault-tolerance builds), and jobs
+//! that exhaust their budget land in [`CampaignReport::quarantined`] with a
+//! full error chain instead of killing the campaign. Progress checkpoints
+//! ([`CheckpointCfg`]) let a killed campaign resume without repeating
+//! finished jobs, and a [`FaultPlan`] can inject panics, hangs, transient
+//! errors, and queue closure at chosen job indices to exercise all of the
+//! above deterministically.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -18,14 +35,24 @@ use serde::{Deserialize, Serialize};
 
 use sb_detect::Finding;
 use sb_kernel::{BootedKernel, Program};
+use sb_queue::{panic_message, run_jobs_fallible, JobError, PoolOpts};
 use sb_vmm::access::AccessKind;
 use sb_vmm::replay::{RecordingSched, Schedule};
 use sb_vmm::sched::SnowboardSched;
 use sb_vmm::site::Site;
 use sb_vmm::Executor;
 
+use crate::checkpoint::{Checkpoint, CheckpointCfg};
+use crate::error::{Error, FailureKind, SbResult};
+use crate::fault::FaultPlan;
 use crate::pmc::{Pmc, PmcId, PmcSet};
+use crate::retry::{reseed, RetryPolicy};
 use crate::triage::{triage, IssueRecord};
+use crate::watchdog::{JobBudget, Watchdog};
+
+/// Per-job seed stride: job `i` starts from `seed + i * STRIDE` (golden
+/// ratio, so neighboring jobs land in unrelated parts of the seed space).
+const JOB_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Campaign configuration.
 #[derive(Clone, Debug)]
@@ -42,6 +69,16 @@ pub struct CampaignCfg {
     pub stop_on_finding: bool,
     /// Enable incidental-PMC pickup (Algorithm 2 lines 26–27).
     pub incidental: bool,
+    /// Retry policy for transient job failures.
+    pub retry: RetryPolicy,
+    /// Per-job step/wall-clock budget enforced by the watchdog.
+    pub budget: JobBudget,
+    /// Periodic progress checkpointing; `None` disables it.
+    pub checkpoint: Option<CheckpointCfg>,
+    /// Resume from this checkpoint file: jobs it covers are not re-run.
+    pub resume_from: Option<PathBuf>,
+    /// Scripted fault injection (empty in production).
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for CampaignCfg {
@@ -53,13 +90,18 @@ impl Default for CampaignCfg {
             workers: 4,
             stop_on_finding: true,
             incidental: true,
+            retry: RetryPolicy::default(),
+            budget: JobBudget::default(),
+            checkpoint: None,
+            resume_from: None,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
 
 /// The outcome of testing one concurrent test (one PMC or one baseline
 /// pairing).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PmcTestOutcome {
     /// The PMC under test (`None` for baseline pairings without hints).
     pub pmc: Option<PmcId>,
@@ -79,6 +121,24 @@ pub struct PmcTestOutcome {
     /// A recorded schedule that reproduces the first finding
     /// deterministically (replay with [`sb_vmm::replay::ReplaySched`]).
     pub repro_schedule: Option<Schedule>,
+    /// Attempts it took to complete this job (1 = first try).
+    pub attempts: u32,
+}
+
+/// A job that failed permanently and was set aside instead of aborting the
+/// campaign.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuarantineRecord {
+    /// Campaign job index (position in the budgeted exemplar order).
+    pub job: usize,
+    /// The PMC the job was testing, if known.
+    pub pmc: Option<PmcId>,
+    /// Attempts consumed before quarantine (0 = never dispatched).
+    pub attempts: u32,
+    /// Failure classification.
+    pub kind: FailureKind,
+    /// Rendered error chain, outermost first.
+    pub chain: Vec<String>,
 }
 
 /// Aggregated campaign results.
@@ -93,6 +153,9 @@ pub struct CampaignReport {
     pub total_steps: u64,
     /// Total executions (trials) across the campaign.
     pub executions: u64,
+    /// Jobs that failed permanently, in job order. A non-empty list means
+    /// the campaign completed *despite* failures, not that it failed.
+    pub quarantined: Vec<QuarantineRecord>,
 }
 
 impl CampaignReport {
@@ -121,6 +184,15 @@ impl CampaignReport {
         ids.sort_unstable();
         ids.dedup();
         ids
+    }
+
+    /// Quarantined-job counts per failure kind, for summary lines.
+    pub fn quarantine_histogram(&self) -> Vec<(FailureKind, usize)> {
+        let mut counts: BTreeMap<&'static str, (FailureKind, usize)> = BTreeMap::new();
+        for q in &self.quarantined {
+            counts.entry(q.kind.tag()).or_insert((q.kind, 0)).1 += 1;
+        }
+        counts.into_values().collect()
     }
 }
 
@@ -214,6 +286,9 @@ fn find_incidental_pmc(
 }
 
 /// Tests one PMC: the inner loop of Algorithm 2.
+///
+/// The watchdog is checked between trials (the finest boundary that keeps
+/// replays deterministic); an overrun aborts the job with [`Error::Hang`].
 #[allow(clippy::too_many_arguments)]
 pub fn test_one_pmc(
     exec: &mut Executor,
@@ -224,12 +299,25 @@ pub fn test_one_pmc(
     id: PmcId,
     seed: u64,
     cfg: &CampaignCfg,
-) -> PmcTestOutcome {
+    dog: &Watchdog,
+) -> SbResult<PmcTestOutcome> {
     let pmc = set.get(id);
     let mut rng = StdRng::seed_from_u64(seed);
-    let pair = *pmc.pairs.choose(&mut rng).expect("PMC without test pairs");
-    let wprog = corpus[pair.0 as usize].clone();
-    let rprog = corpus[pair.1 as usize].clone();
+    let pair = *pmc
+        .pairs
+        .choose(&mut rng)
+        .ok_or(Error::EmptyPmc { pmc: id })?;
+    let fetch = |test: u32| -> SbResult<Program> {
+        corpus
+            .get(test as usize)
+            .cloned()
+            .ok_or(Error::BadTestId {
+                test,
+                corpus: corpus.len(),
+            })
+    };
+    let wprog = fetch(pair.0)?;
+    let rprog = fetch(pair.1)?;
     let mut sched = SnowboardSched::new(seed, pmc.hints());
     let mut watched: std::collections::HashSet<PmcId> = [id].into_iter().collect();
     let mut out = PmcTestOutcome {
@@ -241,21 +329,30 @@ pub fn test_one_pmc(
         steps: 0,
         first_finding_trial: None,
         repro_schedule: None,
+        attempts: 1,
     };
     let mut dedup = std::collections::HashSet::new();
     for trial in 0..cfg.trials_per_pmc {
+        if let Some(overrun) = dog.check(out.steps) {
+            return Err(Error::Hang {
+                steps: overrun.steps,
+                elapsed: overrun.elapsed,
+                trials_run: out.trials_run,
+                tripped: overrun.reason.tag(),
+            });
+        }
         // Checkpoint the scheduler (flags included) so a finding trial can
         // be re-run under a recorder for deterministic reproduction.
         let sched_checkpoint = sched.clone();
         sched.begin_trial(seed.wrapping_add(u64::from(trial)));
-        let r = exec.run(
+        let r = exec.try_run(
             booted.snapshot.clone(),
             vec![
                 booted.kernel.process_job(wprog.clone()),
                 booted.kernel.process_job(rprog.clone()),
             ],
             &mut sched,
-        );
+        )?;
         out.trials_run += 1;
         out.steps += r.report.steps;
         out.exercised |= channel_exercised(&r.report.trace, pmc);
@@ -274,14 +371,14 @@ pub fn test_one_pmc(
             let mut replica = sched_checkpoint;
             replica.begin_trial(seed.wrapping_add(u64::from(trial)));
             let mut recorder = RecordingSched::new(replica);
-            let _ = exec.run(
+            let _ = exec.try_run(
                 booted.snapshot.clone(),
                 vec![
                     booted.kernel.process_job(wprog.clone()),
                     booted.kernel.process_job(rprog.clone()),
                 ],
                 &mut recorder,
-            );
+            )?;
             let (schedule, _) = recorder.finish();
             out.repro_schedule = Some(schedule);
         }
@@ -296,36 +393,223 @@ pub fn test_one_pmc(
             }
         }
     }
-    out
+    Ok(out)
+}
+
+/// What one campaign job resolved to after all retry attempts.
+#[derive(Clone, Debug)]
+enum JobVerdict {
+    /// The job completed and produced an outcome.
+    Completed(PmcTestOutcome),
+    /// The job failed permanently and was set aside.
+    Quarantined(QuarantineRecord),
+}
+
+/// Runs one job to a verdict: attempt, classify, retry or quarantine.
+///
+/// `slot` holds the worker's executor; it is dropped and rebuilt whenever a
+/// panic or executor error may have left it corrupt.
+#[allow(clippy::too_many_arguments)]
+fn run_one_job(
+    slot: &mut Option<Executor>,
+    job: usize,
+    id: PmcId,
+    booted: &BootedKernel,
+    corpus: &[Program],
+    set: &PmcSet,
+    index: &IncidentalIndex,
+    cfg: &CampaignCfg,
+) -> JobVerdict {
+    let base_seed = cfg
+        .seed
+        .wrapping_add((job as u64).wrapping_mul(JOB_SEED_STRIDE));
+    let mut attempts = 0u32;
+    loop {
+        let attempt = attempts;
+        attempts += 1;
+        if attempt > 0 {
+            std::thread::sleep(cfg.retry.backoff(attempt));
+        }
+        let seed = reseed(base_seed, attempt);
+        let result = catch_unwind(AssertUnwindSafe(|| -> SbResult<PmcTestOutcome> {
+            if cfg.fault_plan.should_panic(job) {
+                panic!("fault injection: forced worker panic on job {job}");
+            }
+            if cfg.fault_plan.should_fail_transiently(job, attempt) {
+                return Err(Error::Injected { attempt });
+            }
+            let exec = slot.get_or_insert_with(|| Executor::new(2));
+            let mut dog = Watchdog::start(cfg.budget);
+            if cfg.fault_plan.should_hang(job) {
+                dog.force_expired();
+            }
+            test_one_pmc(exec, booted, corpus, set, index, id, seed, cfg, &dog)
+        }));
+        let err = match result {
+            Ok(Ok(mut out)) => {
+                out.attempts = attempts;
+                return JobVerdict::Completed(out);
+            }
+            Ok(Err(e)) => {
+                if matches!(e, Error::Exec { .. }) {
+                    // The executor refused or half-dispatched a run; retire
+                    // it so the next attempt starts from a clean machine.
+                    *slot = None;
+                }
+                e
+            }
+            Err(payload) => {
+                *slot = None;
+                Error::WorkerPanic {
+                    message: panic_message(payload),
+                }
+            }
+        };
+        if !err.is_retryable() || attempts >= cfg.retry.max_attempts {
+            return JobVerdict::Quarantined(QuarantineRecord {
+                job,
+                pmc: Some(id),
+                attempts,
+                kind: err.failure_kind(),
+                chain: err.chain(),
+            });
+        }
+    }
+}
+
+/// Folds a pool-level result into a verdict. Pool-level failures are the
+/// safety net: `run_one_job` already catches panics, so `JobError::Panic`
+/// here means the machinery around it died; `Rejected` means the queue
+/// closed before dispatch.
+fn fold_pool_result(job: usize, id: PmcId, r: &Result<JobVerdict, JobError>) -> JobVerdict {
+    match r {
+        Ok(v) => v.clone(),
+        Err(JobError::Rejected) => JobVerdict::Quarantined(QuarantineRecord {
+            job,
+            pmc: Some(id),
+            attempts: 0,
+            kind: FailureKind::Rejected,
+            chain: Error::QueueClosed.chain(),
+        }),
+        Err(JobError::Panic { message }) => JobVerdict::Quarantined(QuarantineRecord {
+            job,
+            pmc: Some(id),
+            attempts: 1,
+            kind: FailureKind::Panic,
+            chain: Error::WorkerPanic {
+                message: message.clone(),
+            }
+            .chain(),
+        }),
+    }
 }
 
 /// Runs a full campaign over an ordered exemplar list.
+///
+/// Never aborts on per-job failure: jobs that exhaust their retry budget
+/// appear in [`CampaignReport::quarantined`]. Returns `Err` only for
+/// campaign-level problems — an unreadable/foreign resume checkpoint, or a
+/// final checkpoint write failure.
 pub fn run_campaign(
     booted: &BootedKernel,
     corpus: &[Program],
     set: &PmcSet,
     exemplars: &[PmcId],
     cfg: &CampaignCfg,
-) -> CampaignReport {
+) -> SbResult<CampaignReport> {
     let budgeted: Vec<PmcId> = exemplars
         .iter()
         .copied()
         .take(cfg.max_tested_pmcs)
         .collect();
     let index = Arc::new(IncidentalIndex::build(set));
-    let cfg_arc = cfg.clone();
-    let outcomes: Vec<PmcTestOutcome> = sb_queue::run_jobs(
-        budgeted.iter().copied().enumerate().collect(),
+
+    let mut cp = match &cfg.resume_from {
+        Some(path) => {
+            let cp = Checkpoint::load(path)?;
+            cp.validate(cfg.seed, &budgeted)?;
+            cp
+        }
+        None => Checkpoint::begin(cfg.seed, &budgeted),
+    };
+
+    // Jobs the checkpoint does not already cover, as (job index, PMC id).
+    let pending: Vec<(usize, PmcId)> = budgeted
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(job, _)| !cp.covers(*job))
+        .collect();
+    let pending_meta: Vec<(usize, PmcId)> = pending.clone();
+
+    // Map the fault plan's campaign-level queue-closure index onto the
+    // pending job list the pool actually sees.
+    let close_before = cfg.fault_plan.close_queue_before.and_then(|cut| {
+        pending_meta.iter().position(|(job, _)| *job >= cut)
+    });
+
+    let every = cfg.checkpoint.as_ref().map_or(usize::MAX, |c| c.every.max(1));
+    let ckpt_path = cfg.checkpoint.as_ref().map(|c| c.path.clone());
+    let mut results_seen = 0usize;
+    let on_result = {
+        let cp = &mut cp;
+        let pending_meta = &pending_meta;
+        let ckpt_path = ckpt_path.clone();
+        let results_seen = &mut results_seen;
+        move |slot: usize, r: &Result<JobVerdict, JobError>| {
+            let (job, id) = pending_meta[slot];
+            match fold_pool_result(job, id, r) {
+                JobVerdict::Completed(out) => {
+                    cp.outcomes.insert(job, out);
+                }
+                JobVerdict::Quarantined(q) => {
+                    // Rejected jobs never ran; leave them out of the
+                    // checkpoint so a resumed campaign retries them.
+                    if q.kind != FailureKind::Rejected {
+                        cp.quarantined.insert(job, q);
+                    }
+                }
+            }
+            *results_seen += 1;
+            if results_seen.is_multiple_of(every) {
+                if let Some(path) = &ckpt_path {
+                    // Periodic saves are best effort; the final save below
+                    // is the authoritative one and surfaces errors.
+                    let _ = cp.save(path);
+                }
+            }
+        }
+    };
+
+    let pool_results = run_jobs_fallible(
+        pending,
         cfg.workers,
-        || Executor::new(2),
-        |exec, (i, id)| {
-            let seed = cfg_arc
-                .seed
-                .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            test_one_pmc(exec, booted, corpus, set, &index, id, seed, &cfg_arc)
+        || None::<Executor>,
+        |slot, (job, id)| run_one_job(slot, job, id, booted, corpus, set, &index, cfg),
+        PoolOpts {
+            on_result: Some(Box::new(on_result)),
+            close_before,
         },
     );
-    aggregate(outcomes)
+
+    if let Some(path) = &ckpt_path {
+        cp.save(path)?;
+    }
+
+    // Rejected jobs are reported (they did not complete) even though they
+    // are not checkpointed.
+    let mut quarantined = cp.quarantined.clone();
+    for (slot, r) in pool_results.iter().enumerate() {
+        let (job, id) = pending_meta[slot];
+        if let JobVerdict::Quarantined(q) = fold_pool_result(job, id, r) {
+            quarantined.entry(q.job).or_insert(q);
+        }
+    }
+
+    let outcomes: Vec<PmcTestOutcome> = cp.outcomes.values().cloned().collect();
+    let mut report = aggregate(outcomes);
+    report.quarantined = quarantined.into_values().collect();
+    Ok(report)
 }
 
 /// Aggregates per-test outcomes into a campaign report (shared with the
@@ -374,6 +658,7 @@ mod tests {
             steps,
             first_finding_trial: None,
             repro_schedule: None,
+            attempts: 1,
         }
     }
 
@@ -410,5 +695,54 @@ mod tests {
         assert_eq!(report.tested(), 0);
         assert_eq!(report.accuracy(), 0.0);
         assert!(report.bug_ids().is_empty());
+        assert!(report.quarantined.is_empty());
+    }
+
+    #[test]
+    fn pool_failures_fold_into_quarantine_records() {
+        match fold_pool_result(4, 9, &Err(JobError::Rejected)) {
+            JobVerdict::Quarantined(q) => {
+                assert_eq!(q.job, 4);
+                assert_eq!(q.pmc, Some(9));
+                assert_eq!(q.attempts, 0, "rejected jobs never ran");
+                assert_eq!(q.kind, FailureKind::Rejected);
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        match fold_pool_result(
+            2,
+            5,
+            &Err(JobError::Panic {
+                message: "boom".into(),
+            }),
+        ) {
+            JobVerdict::Quarantined(q) => {
+                assert_eq!(q.kind, FailureKind::Panic);
+                assert!(q.chain[0].contains("boom"));
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quarantine_histogram_groups_by_kind() {
+        let mk = |job, kind| QuarantineRecord {
+            job,
+            pmc: None,
+            attempts: 1,
+            kind,
+            chain: vec![],
+        };
+        let report = CampaignReport {
+            quarantined: vec![
+                mk(0, FailureKind::Panic),
+                mk(1, FailureKind::Hang),
+                mk(2, FailureKind::Panic),
+            ],
+            ..CampaignReport::default()
+        };
+        let hist = report.quarantine_histogram();
+        assert!(hist.contains(&(FailureKind::Panic, 2)));
+        assert!(hist.contains(&(FailureKind::Hang, 1)));
     }
 }

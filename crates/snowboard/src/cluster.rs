@@ -189,6 +189,7 @@ mod tests {
     use crate::pmc::{PmcKey, SideKey};
     use sb_vmm::site;
 
+    #[allow(clippy::too_many_arguments)]
     fn pmc(wins: &str, waddr: u64, wlen: u8, wval: u64, rins: &str, raddr: u64, rlen: u8, rval: u64, df: bool) -> Pmc {
         Pmc {
             key: PmcKey {

@@ -1,0 +1,97 @@
+//! Deterministic fault injection for campaign robustness testing.
+//!
+//! The fault-tolerance machinery (watchdogs, retries, quarantine,
+//! checkpointing) only earns trust if it can be driven through its failure
+//! paths on demand. A [`FaultPlan`] names campaign job indices at which the
+//! driver manufactures specific failures — worker panics, forced watchdog
+//! expiry, transient errors that succeed on retry, and early queue closure.
+//! Plans are plain data, always compiled in, and empty by default, so
+//! production campaigns pay only a couple of set lookups per job.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Scripted failures for one campaign run, keyed by job index (the position
+/// of the PMC in the campaign's test order, before any retries).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Jobs whose worker closure panics on every attempt. Exercises the
+    /// catch-unwind boundary and retry exhaustion → quarantine.
+    pub panic_jobs: BTreeSet<usize>,
+    /// Jobs whose watchdog is forced to expire before the first trial.
+    /// Exercises hang classification.
+    pub hang_jobs: BTreeSet<usize>,
+    /// Jobs that fail with a transient [`crate::error::Error::Injected`]
+    /// for the first `n` attempts, then run normally. Exercises
+    /// retry-then-success.
+    pub transient_failures: BTreeMap<usize, u32>,
+    /// Close the work queue before enqueueing this job index; it and all
+    /// later jobs are rejected. Exercises queue-closure handling.
+    pub close_queue_before: Option<usize>,
+}
+
+impl FaultPlan {
+    /// True when no faults are scripted (the production fast path).
+    pub fn is_empty(&self) -> bool {
+        self.panic_jobs.is_empty()
+            && self.hang_jobs.is_empty()
+            && self.transient_failures.is_empty()
+            && self.close_queue_before.is_none()
+    }
+
+    /// Should `job`'s worker closure panic on this attempt?
+    pub fn should_panic(&self, job: usize) -> bool {
+        self.panic_jobs.contains(&job)
+    }
+
+    /// Should `job`'s watchdog be forced to expire?
+    pub fn should_hang(&self, job: usize) -> bool {
+        self.hang_jobs.contains(&job)
+    }
+
+    /// Should `job` fail transiently on `attempt` (0-based)?
+    pub fn should_fail_transiently(&self, job: usize, attempt: u32) -> bool {
+        self.transient_failures
+            .get(&job)
+            .is_some_and(|&n| attempt < n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty_and_inert() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert!(!plan.should_panic(0));
+        assert!(!plan.should_hang(0));
+        assert!(!plan.should_fail_transiently(0, 0));
+    }
+
+    #[test]
+    fn transient_failures_clear_after_n_attempts() {
+        let plan = FaultPlan {
+            transient_failures: BTreeMap::from([(3, 2)]),
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_empty());
+        assert!(plan.should_fail_transiently(3, 0));
+        assert!(plan.should_fail_transiently(3, 1));
+        assert!(!plan.should_fail_transiently(3, 2));
+        assert!(!plan.should_fail_transiently(4, 0));
+    }
+
+    #[test]
+    fn panic_and_hang_sets_are_index_keyed() {
+        let plan = FaultPlan {
+            panic_jobs: BTreeSet::from([1]),
+            hang_jobs: BTreeSet::from([2]),
+            ..FaultPlan::default()
+        };
+        assert!(plan.should_panic(1));
+        assert!(!plan.should_panic(2));
+        assert!(plan.should_hang(2));
+        assert!(!plan.should_hang(1));
+    }
+}

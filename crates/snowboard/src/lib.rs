@@ -20,6 +20,12 @@
 //! [`metrics`] the §5 measurements, and [`triage`] the ground-truth
 //! matching that stands in for the paper's manual inspection.
 //!
+//! Campaign execution is fault tolerant: per-job failures are typed
+//! ([`error`]), bounded by a watchdog ([`watchdog`]), retried with
+//! deterministic reseeds ([`retry`]), quarantined when permanent, and
+//! periodically checkpointed for kill/resume ([`checkpoint`]); [`fault`]
+//! provides deterministic fault injection for testing that machinery.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -30,27 +36,38 @@
 //!
 //! let pipeline = Pipeline::prepare(KernelConfig::v5_12_rc3(), PipelineCfg::default());
 //! let exemplars = pipeline.exemplars(Strategy::SInsPair, ClusterOrder::UncommonFirst);
-//! let report = pipeline.campaign(&exemplars, &Default::default());
+//! let report = pipeline.campaign(&exemplars, &Default::default()).expect("campaign");
 //! println!("found: {:?}", report.bug_ids());
 //! ```
 
 pub mod baseline;
 pub mod campaign;
+pub mod checkpoint;
 pub mod cluster;
 pub mod diagnose;
+pub mod error;
+pub mod fault;
+pub mod json;
 pub mod metrics;
 pub mod multi;
 pub mod pmc;
 pub mod profile;
+pub mod retry;
 pub mod select;
 pub mod triage;
+pub mod watchdog;
 
 use sb_kernel::{boot, BootedKernel, KernelConfig, Program};
 
-pub use campaign::{CampaignCfg, CampaignReport};
+pub use campaign::{CampaignCfg, CampaignReport, QuarantineRecord};
+pub use checkpoint::{Checkpoint, CheckpointCfg};
 pub use cluster::Strategy;
+pub use error::{Error, FailureKind, SbResult};
+pub use fault::FaultPlan;
 pub use pmc::{Pmc, PmcId, PmcSet};
 pub use profile::SeqProfile;
+pub use retry::RetryPolicy;
+pub use watchdog::JobBudget;
 
 /// Configuration for pipeline preparation (stages 1–2).
 #[derive(Clone, Debug)]
@@ -156,7 +173,11 @@ impl Pipeline {
     }
 
     /// Stage 4: run a campaign over an exemplar list.
-    pub fn campaign(&self, exemplars: &[PmcId], cfg: &CampaignCfg) -> CampaignReport {
+    ///
+    /// Per-job failures never surface here — they land in
+    /// [`CampaignReport::quarantined`]; `Err` means a campaign-level
+    /// problem (bad resume checkpoint, failed checkpoint write).
+    pub fn campaign(&self, exemplars: &[PmcId], cfg: &CampaignCfg) -> SbResult<CampaignReport> {
         campaign::run_campaign(&self.booted, &self.corpus, &self.pmcs, exemplars, cfg)
     }
 

@@ -24,6 +24,7 @@ use sb_kernel::{BootedKernel, Program};
 use sb_vmm::sched::SnowboardSched;
 use sb_vmm::Executor;
 
+use crate::error::{Error, SbResult};
 use crate::pmc::{PmcId, PmcSet};
 
 /// Two PMCs sharing a write side: one shared write, two reads.
@@ -92,16 +93,28 @@ pub fn test_triple(
     seed: u64,
     trials: u32,
     stop_on_finding: bool,
-) -> TripleOutcome {
+) -> SbResult<TripleOutcome> {
     assert!(exec.vcpus() >= 3, "three-thread testing needs >=3 vCPUs");
     let pa = set.get(triple.a);
     let pb = set.get(triple.b);
     let mut rng = StdRng::seed_from_u64(seed);
-    let (w1, r1) = *pa.pairs.choose(&mut rng).expect("PMC without pairs");
-    let (_w2, r2) = *pb.pairs.choose(&mut rng).expect("PMC without pairs");
-    let writer = corpus[w1 as usize].clone();
-    let reader1 = corpus[r1 as usize].clone();
-    let reader2 = corpus[r2 as usize].clone();
+    let (w1, r1) = *pa
+        .pairs
+        .choose(&mut rng)
+        .ok_or(Error::EmptyPmc { pmc: triple.a })?;
+    let (_w2, r2) = *pb
+        .pairs
+        .choose(&mut rng)
+        .ok_or(Error::EmptyPmc { pmc: triple.b })?;
+    let fetch = |test: u32| -> SbResult<Program> {
+        corpus.get(test as usize).cloned().ok_or(Error::BadTestId {
+            test,
+            corpus: corpus.len(),
+        })
+    };
+    let writer = fetch(w1)?;
+    let reader1 = fetch(r1)?;
+    let reader2 = fetch(r2)?;
     let mut sched = SnowboardSched::new(seed, pa.hints().into_iter().chain(pb.hints()));
     let mut out = TripleOutcome {
         triple,
@@ -114,7 +127,7 @@ pub fn test_triple(
     let mut dedup = std::collections::HashSet::new();
     for trial in 0..trials {
         sched.begin_trial(seed.wrapping_add(u64::from(trial)));
-        let r = exec.run(
+        let r = exec.try_run(
             booted.snapshot.clone(),
             vec![
                 booted.kernel.process_job(writer.clone()),
@@ -122,7 +135,7 @@ pub fn test_triple(
                 booted.kernel.process_job(reader2.clone()),
             ],
             &mut sched,
-        );
+        )?;
         out.trials_run += 1;
         out.steps += r.report.steps;
         let mut found_new = false;
@@ -139,7 +152,7 @@ pub fn test_triple(
             break;
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

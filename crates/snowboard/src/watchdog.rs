@@ -1,0 +1,172 @@
+//! Per-job watchdog: step budgets and wall-clock deadlines.
+//!
+//! A single bad PMC can wedge a campaign worker — a pathological schedule
+//! that never converges, or a kernel body that spins. The watchdog bounds
+//! each job by *engine steps* (deterministic, replayable) and *wall-clock
+//! time* (catches everything else), and the campaign driver converts an
+//! overrun into [`crate::error::Error::Hang`] so the worker moves on
+//! instead of stalling the fleet.
+
+use std::time::{Duration, Instant};
+
+/// Resource limits for one campaign job (all trials of one PMC).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobBudget {
+    /// Maximum engine steps across all trials of the job; `None` = unbounded.
+    pub max_steps: Option<u64>,
+    /// Maximum wall-clock time for the job; `None` = unbounded.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for JobBudget {
+    /// Steps are unbounded by default (trial counts already bound them
+    /// loosely); the wall-clock deadline defaults to 60 s, generous for the
+    /// simulated kernels but tight enough to unwedge a stuck worker.
+    fn default() -> Self {
+        JobBudget {
+            max_steps: None,
+            deadline: Some(Duration::from_secs(60)),
+        }
+    }
+}
+
+impl JobBudget {
+    /// A budget with no limits at all (used by tests and baselines that
+    /// must never classify a job as hung).
+    pub fn unbounded() -> Self {
+        JobBudget {
+            max_steps: None,
+            deadline: None,
+        }
+    }
+}
+
+/// Why a watchdog fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverrunReason {
+    /// The cumulative step count crossed `max_steps`.
+    Steps,
+    /// Wall-clock time crossed `deadline`.
+    Deadline,
+    /// A fault-injection hook forced expiry (see [`crate::fault::FaultPlan`]).
+    Forced,
+}
+
+impl OverrunReason {
+    /// Stable tag used in error messages and checkpoints.
+    pub fn tag(self) -> &'static str {
+        match self {
+            OverrunReason::Steps => "steps",
+            OverrunReason::Deadline => "deadline",
+            OverrunReason::Forced => "forced",
+        }
+    }
+}
+
+/// A watchdog overrun observation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Overrun {
+    /// What tripped.
+    pub reason: OverrunReason,
+    /// Steps consumed at the moment of expiry.
+    pub steps: u64,
+    /// Wall-clock time elapsed at the moment of expiry.
+    pub elapsed: Duration,
+}
+
+/// A running watchdog for one job. Checked cooperatively between trials —
+/// the engine itself is deterministic and single-threaded, so between-trial
+/// granularity is the finest preemption point that keeps replays exact.
+#[derive(Debug)]
+pub struct Watchdog {
+    budget: JobBudget,
+    started: Instant,
+    forced: bool,
+}
+
+impl Watchdog {
+    /// Starts the clock for one job.
+    pub fn start(budget: JobBudget) -> Self {
+        Watchdog {
+            budget,
+            started: Instant::now(),
+            forced: false,
+        }
+    }
+
+    /// Marks the watchdog as already expired regardless of budget; the next
+    /// [`check`](Self::check) reports a forced overrun. Used by fault
+    /// injection to exercise hang handling deterministically.
+    pub fn force_expired(&mut self) {
+        self.forced = true;
+    }
+
+    /// Checks the budget against the steps consumed so far. Returns the
+    /// overrun if any limit has been crossed.
+    pub fn check(&self, steps: u64) -> Option<Overrun> {
+        let elapsed = self.started.elapsed();
+        let reason = if self.forced {
+            OverrunReason::Forced
+        } else if self.budget.max_steps.is_some_and(|cap| steps >= cap) {
+            OverrunReason::Steps
+        } else if self.budget.deadline.is_some_and(|cap| elapsed >= cap) {
+            OverrunReason::Deadline
+        } else {
+            return None;
+        };
+        Some(Overrun {
+            reason,
+            steps,
+            elapsed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_budget_never_expires() {
+        let dog = Watchdog::start(JobBudget::unbounded());
+        assert_eq!(dog.check(u64::MAX), None);
+    }
+
+    #[test]
+    fn step_budget_expiry() {
+        let dog = Watchdog::start(JobBudget {
+            max_steps: Some(100),
+            deadline: None,
+        });
+        assert_eq!(dog.check(99), None);
+        let overrun = dog.check(100).expect("at the cap counts as overrun");
+        assert_eq!(overrun.reason, OverrunReason::Steps);
+        assert_eq!(overrun.steps, 100);
+    }
+
+    #[test]
+    fn deadline_expiry() {
+        let dog = Watchdog::start(JobBudget {
+            max_steps: None,
+            deadline: Some(Duration::ZERO),
+        });
+        let overrun = dog.check(0).expect("zero deadline expires immediately");
+        assert_eq!(overrun.reason, OverrunReason::Deadline);
+    }
+
+    #[test]
+    fn forced_expiry_wins_over_budgets() {
+        let mut dog = Watchdog::start(JobBudget::unbounded());
+        assert_eq!(dog.check(10), None);
+        dog.force_expired();
+        let overrun = dog.check(10).expect("forced expiry");
+        assert_eq!(overrun.reason, OverrunReason::Forced);
+    }
+
+    #[test]
+    fn default_budget_has_deadline_only() {
+        let b = JobBudget::default();
+        assert_eq!(b.max_steps, None);
+        assert_eq!(b.deadline, Some(Duration::from_secs(60)));
+    }
+}

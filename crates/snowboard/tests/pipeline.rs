@@ -56,8 +56,10 @@ fn sinspair_campaign_finds_panic_and_race_bugs() {
         workers: 4,
         stop_on_finding: true,
         incidental: true,
+        ..CampaignCfg::default()
     };
-    let report = p.campaign(&exemplars, &cfg);
+    let report = p.campaign(&exemplars, &cfg).expect("campaign");
+    assert!(report.quarantined.is_empty(), "no job should fail: {:?}", report.quarantined);
     let bugs = report.bug_ids();
     // #13 (slab stats) is found by everything.
     assert!(bugs.contains(&13), "missing #13 in {bugs:?}");
@@ -78,8 +80,9 @@ fn patched_kernel_yields_no_triaged_bugs() {
         workers: 4,
         stop_on_finding: true,
         incidental: false,
+        ..CampaignCfg::default()
     };
-    let report = p.campaign(&exemplars, &cfg);
+    let report = p.campaign(&exemplars, &cfg).expect("campaign");
     assert!(
         report.bug_ids().is_empty(),
         "patched kernel reported {:?}",
@@ -100,8 +103,9 @@ fn campaign_repro_schedules_replay_their_findings() {
         workers: 2,
         stop_on_finding: true,
         incidental: false,
+        ..CampaignCfg::default()
     };
-    let report = p.campaign(&exemplars, &cfg);
+    let report = p.campaign(&exemplars, &cfg).expect("campaign");
     let mut exec = sb_vmm::Executor::new(2);
     let mut replayed = 0;
     for o in report.outcomes.iter().filter(|o| o.repro_schedule.is_some()) {

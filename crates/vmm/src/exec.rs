@@ -50,6 +50,43 @@ impl Default for ExecLimits {
     }
 }
 
+/// A typed failure of the execution machinery itself — as opposed to an
+/// [`Outcome`], which describes what the *simulated kernel* did. Machinery
+/// failures used to panic; campaign drivers now route them into retry /
+/// quarantine decisions instead of dying.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// More jobs were submitted than the executor has pooled vCPUs (or
+    /// zero jobs).
+    BadJobCount {
+        /// Number of jobs submitted.
+        jobs: usize,
+        /// Number of pooled vCPUs.
+        vcpus: usize,
+    },
+    /// A pooled vCPU worker thread is gone (its channel disconnected), so
+    /// the executor can no longer run jobs on it.
+    WorkerUnavailable {
+        /// Index of the dead vCPU.
+        vcpu: usize,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::BadJobCount { jobs, vcpus } => {
+                write!(f, "bad job count: {jobs} jobs for {vcpus} pooled vCPUs")
+            }
+            ExecError::WorkerUnavailable { vcpu } => {
+                write!(f, "vCPU worker {vcpu} is no longer available")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// Terminal state of one execution.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Outcome {
@@ -126,6 +163,9 @@ struct WorkerHandle {
 pub struct Executor {
     workers: Vec<WorkerHandle>,
     limits: ExecLimits,
+    /// Set when a dispatch failed partway: some worker may still hold an
+    /// undelivered job, so further runs could interleave stale requests.
+    tainted: bool,
 }
 
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -167,7 +207,7 @@ impl Executor {
     /// Creates an executor with explicit [`ExecLimits`].
     pub fn with_limits(n_workers: usize, limits: ExecLimits) -> Self {
         assert!(
-            n_workers >= 1 && n_workers <= crate::mem::MAX_THREADS,
+            (1..=crate::mem::MAX_THREADS).contains(&n_workers),
             "worker count must be in 1..={}",
             crate::mem::MAX_THREADS
         );
@@ -188,7 +228,11 @@ impl Executor {
                 }
             })
             .collect();
-        Executor { workers, limits }
+        Executor {
+            workers,
+            limits,
+            tainted: false,
+        }
     }
 
     /// Number of pooled vCPUs.
@@ -198,14 +242,43 @@ impl Executor {
 
     /// Runs `jobs` (one per vCPU, at most [`Executor::vcpus`]) over `mem`
     /// under `sched`, returning the observation report and final memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on machinery failures (bad job count, dead vCPU worker);
+    /// callers that must survive those use [`Executor::try_run`].
     pub fn run(&mut self, mem: GuestMem, jobs: Vec<Job>, sched: &mut dyn Scheduler) -> RunResult {
+        self.try_run(mem, jobs, sched).expect("execution machinery failed")
+    }
+
+    /// Fallible variant of [`Executor::run`]: machinery failures come back
+    /// as typed [`ExecError`]s instead of panics, so a campaign worker can
+    /// quarantine the job and keep draining the queue.
+    pub fn try_run(
+        &mut self,
+        mem: GuestMem,
+        jobs: Vec<Job>,
+        sched: &mut dyn Scheduler,
+    ) -> Result<RunResult, ExecError> {
         let n = jobs.len();
-        assert!(n >= 1 && n <= self.workers.len(), "bad job count {n}");
+        if n < 1 || n > self.workers.len() {
+            return Err(ExecError::BadJobCount {
+                jobs: n,
+                vcpus: self.workers.len(),
+            });
+        }
+        if self.tainted {
+            return Err(ExecError::WorkerUnavailable { vcpu: 0 });
+        }
         for (i, job) in jobs.into_iter().enumerate() {
-            self.workers[i]
-                .job_tx
-                .send(job)
-                .expect("vCPU worker thread died");
+            if self.workers[i].job_tx.send(job).is_err() {
+                // The worker thread is gone. Earlier workers already hold
+                // their jobs and would answer a future run with stale
+                // requests, so this executor is retired: campaign pools
+                // respond by rebuilding worker state.
+                self.tainted = true;
+                return Err(ExecError::WorkerUnavailable { vcpu: i });
+            }
         }
         let mut st = RunState {
             mem,
@@ -252,7 +325,7 @@ impl Executor {
             self.service_one(&mut st, &mut current);
         }
         let outcome = st.outcome.unwrap_or(Outcome::Completed);
-        RunResult {
+        Ok(RunResult {
             report: ExecReport {
                 outcome,
                 console: st.console,
@@ -262,7 +335,7 @@ impl Executor {
                 thread_faults: st.thread_faults,
             },
             mem: st.mem,
-        }
+        })
     }
 
     /// Delivers any owed reply to `current`, receives its next request, and

@@ -54,6 +54,6 @@ pub mod site;
 
 pub use access::{Access, AccessKind};
 pub use ctx::{Ctx, Fault, KResult};
-pub use exec::{ExecLimits, ExecReport, Executor, Outcome};
+pub use exec::{ExecError, ExecLimits, ExecReport, Executor, Outcome};
 pub use mem::GuestMem;
 pub use site::Site;

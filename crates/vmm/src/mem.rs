@@ -55,7 +55,7 @@ pub fn stack_range_of(sp: u64) -> (u64, u64) {
 
 /// Returns true if `addr` falls inside any thread's kernel-stack region.
 pub fn is_stack_addr(addr: u64) -> bool {
-    addr >= STACKS_BASE && addr < GUEST_MEM_SIZE
+    (STACKS_BASE..GUEST_MEM_SIZE).contains(&addr)
 }
 
 /// The allocator size classes, in bytes. Allocations round up to the nearest
@@ -117,7 +117,7 @@ impl GuestMem {
             }
             return Err(Fault::PageFault { addr });
         }
-        if addr.checked_add(len).map_or(true, |end| end > GUEST_MEM_SIZE) {
+        if addr.checked_add(len).is_none_or(|end| end > GUEST_MEM_SIZE) {
             return Err(Fault::PageFault { addr });
         }
         Ok(())
@@ -174,7 +174,7 @@ impl GuestMem {
     /// Returns an object of `len` bytes at `addr` to its size-class free list.
     pub fn kfree(&mut self, addr: u64, len: u64) -> Result<(), Fault> {
         let class = Self::size_class(len).ok_or(Fault::BadAccess { addr, len: 8 })?;
-        if addr < HEAP_BASE || addr >= STACKS_BASE {
+        if !(HEAP_BASE..STACKS_BASE).contains(&addr) {
             return Err(Fault::PageFault { addr });
         }
         self.free.entry(class).or_default().push(addr);

@@ -198,11 +198,14 @@ impl Scheduler for PctSched {
         false
     }
 
-    fn pick(&mut self, _prev: usize, candidates: &[usize]) -> usize {
-        *candidates
+    fn pick(&mut self, prev: usize, candidates: &[usize]) -> usize {
+        // The coordinator never calls `pick` with an empty candidate set;
+        // stay on `prev` rather than panicking if a custom harness does.
+        candidates
             .iter()
-            .max_by_key(|t| self.priorities[**t])
-            .expect("non-empty candidate set")
+            .copied()
+            .max_by_key(|t| self.priorities[*t])
+            .unwrap_or(prev)
     }
 
     fn on_forced_switch(&mut self, t: usize) {

@@ -7,6 +7,9 @@ use sb_vmm::mem::GuestMem;
 use sb_vmm::sched::{FreeRun, RandomSched, Scheduler};
 use sb_vmm::{site, AccessKind, Ctx, Fault};
 
+/// A boxed kernel-thread job, as `Executor::run` takes them.
+type BoxedJob = Box<dyn FnOnce(&Ctx) -> KResult<()> + Send>;
+
 /// Boots a memory with one 8-byte cell preallocated at a fixed address.
 fn mem_with_cell() -> (GuestMem, u64) {
     let mut m = GuestMem::new();
@@ -66,7 +69,7 @@ fn locks_provide_mutual_exclusion() {
     let lock = m.kmalloc(8).unwrap();
     let counter = m.kmalloc(8).unwrap();
     let mut exec = Executor::new(2);
-    let job = move |name: &'static str| -> Box<dyn FnOnce(&Ctx) -> KResult<()> + Send> {
+    let job = move |name: &'static str| -> BoxedJob {
         Box::new(move |ctx: &Ctx| {
             for _ in 0..100 {
                 ctx.lock(lock)?;
@@ -92,7 +95,7 @@ fn unlocked_counter_loses_updates_under_preemption() {
     let mut m = GuestMem::new();
     let counter = m.kmalloc(8).unwrap();
     let mut exec = Executor::new(2);
-    let job = move |name: &'static str| -> Box<dyn FnOnce(&Ctx) -> KResult<()> + Send> {
+    let job = move |name: &'static str| -> BoxedJob {
         Box::new(move |ctx: &Ctx| {
             for _ in 0..100 {
                 let v = ctx.read_u64(site!(name), counter)?;

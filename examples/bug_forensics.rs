@@ -36,8 +36,10 @@ fn main() {
             workers: 4,
             stop_on_finding: true,
             incidental: true,
+            ..CampaignCfg::default()
         },
-    );
+    )
+    .expect("campaign");
     println!(
         "campaign: {} PMCs tested, {} issues found\n",
         report.tested(),

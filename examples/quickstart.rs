@@ -60,8 +60,10 @@ fn main() {
             workers: 4,
             stop_on_finding: true,
             incidental: true,
+            ..CampaignCfg::default()
         },
-    );
+    )
+    .expect("campaign");
     println!(
         "      tested {} PMCs in {} executions; {:.0}% exercised their predicted channel",
         report.tested(),

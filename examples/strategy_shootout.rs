@@ -29,8 +29,8 @@ fn main() {
         pipeline.pmcs.len()
     );
     println!(
-        "{:<16} {:>9} {:>8}  {}",
-        "strategy", "clusters", "tested", "bugs found"
+        "{:<16} {:>9} {:>8}  bugs found",
+        "strategy", "clusters", "tested"
     );
     for strategy in ALL_STRATEGIES {
         let clusters = pipeline.cluster_count(strategy);
@@ -44,8 +44,10 @@ fn main() {
                 workers: 4,
                 stop_on_finding: true,
                 incidental: true,
+                ..CampaignCfg::default()
             },
-        );
+        )
+        .expect("campaign");
         println!(
             "{:<16} {:>9} {:>8}  {:?}",
             strategy.to_string(),

@@ -202,8 +202,10 @@ fn queue_parallelism_matches_sequential_campaign_results() {
             workers,
             stop_on_finding: true,
             incidental: false,
+            ..snowboard::CampaignCfg::default()
         };
-        let report = snowboard::campaign::run_campaign(booted, &corpus, &set, &exemplars, &cfg);
+        let report = snowboard::campaign::run_campaign(booted, &corpus, &set, &exemplars, &cfg)
+            .expect("campaign");
         report
             .outcomes
             .iter()

@@ -79,7 +79,8 @@ fn three_thread_campaign_exposes_the_l2tp_panic() {
     // pair lists, so sweeping seeds explores the test-selection dimension.
     'outer: for t in &publish {
         for seed in 0..12u64 {
-            let out = test_triple(&mut exec, booted, &corpus, &set, **t, 40 + seed, 32, true);
+            let out = test_triple(&mut exec, booted, &corpus, &set, **t, 40 + seed, 32, true)
+                .expect("triple test");
             if out
                 .findings
                 .iter()
@@ -103,7 +104,8 @@ fn three_thread_execution_is_deterministic() {
     let t = triples[0];
     let run = || {
         let mut exec = Executor::new(3);
-        let out = test_triple(&mut exec, booted, &corpus, &set, t, 77, 8, false);
+        let out = test_triple(&mut exec, booted, &corpus, &set, t, 77, 8, false)
+            .expect("triple test");
         (out.tests, out.trials_run, out.findings.len(), out.steps)
     };
     assert_eq!(run(), run());
