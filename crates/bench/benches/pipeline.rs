@@ -1,15 +1,20 @@
 //! Criterion bench for E6: the offline pipeline stages — sequential
-//! profiling, PMC identification (Algorithm 1), clustering per strategy,
-//! and exemplar selection (concurrent-test generation).
+//! profiling, PMC identification (Algorithm 1, batch and sharded),
+//! clustering per strategy, exemplar selection (concurrent-test
+//! generation), and store-backed preparation cold vs warm.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sb_kernel::{boot, KernelConfig};
+use sb_store::Store;
 use sb_vmm::Executor;
 use snowboard::cluster::{cluster, ALL_STRATEGIES};
-use snowboard::pmc::identify;
+use snowboard::pmc::{identify, identify_sharded, IdentifyOpts};
 use snowboard::profile::{profile_corpus, profile_one};
 use snowboard::select::{exemplars, ClusterOrder};
+use snowboard::PipelineCfg;
 
 fn bench_pipeline(c: &mut Criterion) {
     let booted = boot(KernelConfig::v5_12_rc3());
@@ -26,6 +31,14 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 
     group.bench_function("pmc_identification", |b| b.iter(|| identify(&profiles)));
+
+    for shards in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("pmc_identification_sharded", shards),
+            &shards,
+            |b, &shards| b.iter(|| identify_sharded(&profiles, shards, shards)),
+        );
+    }
 
     for s in ALL_STRATEGIES {
         group.bench_with_input(BenchmarkId::new("clustering", s.to_string()), &s, |b, s| {
@@ -47,5 +60,57 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+/// Store-backed preparation, cold (empty directory: every profile executed,
+/// PMC set built) vs warm (same corpus already stored: profiles and the PMC
+/// set served from disk). The gap is what the persistent store saves on an
+/// unchanged corpus.
+fn bench_store(c: &mut Criterion) {
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+    let fresh_dir = || {
+        std::env::temp_dir().join(format!(
+            "sb-bench-store-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    };
+    let cfg = PipelineCfg {
+        seed: 5,
+        corpus_target: 12,
+        fuzz_budget: 180,
+        workers: 2,
+    };
+    let opts = IdentifyOpts::sharded(4, 2);
+
+    let mut group = c.benchmark_group("store");
+    group.sample_size(10);
+
+    group.bench_function("prepare_cold", |b| {
+        b.iter(|| {
+            let dir = fresh_dir();
+            let mut store = Store::open(&dir).expect("open store");
+            let out = sb_store::prepare(KernelConfig::v5_12_rc3(), &cfg, &opts, &mut store)
+                .expect("cold prepare");
+            std::fs::remove_dir_all(&dir).ok();
+            out.0.pmcs.len()
+        })
+    });
+
+    let warm_dir = fresh_dir();
+    let mut seed_store = Store::open(&warm_dir).expect("open store");
+    sb_store::prepare(KernelConfig::v5_12_rc3(), &cfg, &opts, &mut seed_store)
+        .expect("seed prepare");
+    group.bench_function("prepare_warm", |b| {
+        b.iter(|| {
+            let mut store = Store::open(&warm_dir).expect("open store");
+            let out = sb_store::prepare(KernelConfig::v5_12_rc3(), &cfg, &opts, &mut store)
+                .expect("warm prepare");
+            assert_eq!(out.1.profile_misses, 0, "warm run must not re-profile");
+            out.0.pmcs.len()
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&warm_dir).ok();
+}
+
+criterion_group!(benches, bench_pipeline, bench_store);
 criterion_main!(benches);

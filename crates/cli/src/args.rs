@@ -17,6 +17,7 @@ COMMANDS:
     strategies    show per-strategy cluster counts for a corpus
     list-bugs     print the ground-truth issue registry (Table 2)
     repro         reproduce one known bug with its PMC-hinted schedule
+    store stats   print profile/PMC store hit rate and segment sizes
     help          show this message
 
 OPTIONS (hunt):
@@ -35,9 +36,12 @@ OPTIONS (hunt):
     --job-deadline <SECS>         per-job wall-clock watchdog [default: 60]
     --checkpoint <PATH>           write progress checkpoints to PATH
     --resume <PATH>               resume from a checkpoint written by --checkpoint
+    --store <DIR>                 persist/reuse profiles and PMCs in DIR
+    --no-cache                    with --store: write results but serve no reads
 
-OPTIONS (strategies): --version, --patched, --seed, --corpus
-OPTIONS (repro):      --bug <1|2|3|4|11|12> (console-detectable bugs)
+OPTIONS (strategies):  --version, --patched, --seed, --corpus
+OPTIONS (repro):       --bug <1|2|3|4|11|12> (console-detectable bugs)
+OPTIONS (store stats): --store <DIR> (required)
 ";
 
 /// Options for the `hunt` command.
@@ -67,6 +71,10 @@ pub struct HuntOpts {
     pub checkpoint: Option<PathBuf>,
     /// Checkpoint file to resume from.
     pub resume: Option<PathBuf>,
+    /// Profile/PMC store directory; `None` runs fully in memory.
+    pub store: Option<PathBuf>,
+    /// With a store: disable cache reads (results are still written back).
+    pub no_cache: bool,
 }
 
 /// Parsed command.
@@ -89,6 +97,11 @@ pub enum Cmd {
     Repro {
         /// Table 2 id.
         bug: u8,
+    },
+    /// Store inspection: manifest hit rate and segment sizes.
+    StoreStats {
+        /// Store directory.
+        store: PathBuf,
     },
     /// Usage text.
     Help,
@@ -158,6 +171,25 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
             }
             Ok(Cmd::Repro { bug })
         }
+        "store" => {
+            let Some(sub) = argv.get(1) else {
+                return Err("store requires a subcommand (stats)".into());
+            };
+            if sub != "stats" {
+                return Err(format!("unknown store subcommand '{sub}'"));
+            }
+            let mut store: Option<PathBuf> = None;
+            let mut i = 2;
+            while i < argv.len() {
+                match argv[i].as_str() {
+                    "--store" => store = Some(PathBuf::from(take_value(argv, &mut i, "--store")?)),
+                    other => return Err(format!("unknown option '{other}'")),
+                }
+                i += 1;
+            }
+            let store = store.ok_or("store stats requires --store <dir>")?;
+            Ok(Cmd::StoreStats { store })
+        }
         "strategies" | "hunt" => {
             let is_hunt = cmd == "hunt";
             let mut version = KernelVersion::V5_12Rc3;
@@ -173,6 +205,8 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
             let mut job_deadline_secs = 60u64;
             let mut checkpoint: Option<PathBuf> = None;
             let mut resume: Option<PathBuf> = None;
+            let mut store: Option<PathBuf> = None;
+            let mut no_cache = false;
             let mut i = 1;
             while i < argv.len() {
                 match argv[i].as_str() {
@@ -209,9 +243,16 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                     "--resume" if is_hunt => {
                         resume = Some(PathBuf::from(take_value(argv, &mut i, "--resume")?))
                     }
+                    "--store" if is_hunt => {
+                        store = Some(PathBuf::from(take_value(argv, &mut i, "--store")?))
+                    }
+                    "--no-cache" if is_hunt => no_cache = true,
                     other => return Err(format!("unknown option '{other}'")),
                 }
                 i += 1;
+            }
+            if no_cache && store.is_none() {
+                return Err("--no-cache requires --store <dir>".into());
             }
             let mut config = match version {
                 KernelVersion::V5_3_10 => KernelConfig::v5_3_10(),
@@ -234,6 +275,8 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                     job_deadline_secs,
                     checkpoint,
                     resume,
+                    store,
+                    no_cache,
                 }))
             } else {
                 Ok(Cmd::Strategies { config, seed, corpus })
@@ -297,6 +340,27 @@ mod tests {
         assert!(parse(&argv("hunt --job-deadline nope")).is_err());
         // These are hunt-only options.
         assert!(parse(&argv("strategies --retries 2")).is_err());
+    }
+
+    #[test]
+    fn parses_store_flags_and_subcommand() {
+        let cmd = parse(&argv("hunt --store /tmp/sbstore --no-cache")).unwrap();
+        match cmd {
+            Cmd::Hunt(o) => {
+                assert_eq!(o.store, Some(PathBuf::from("/tmp/sbstore")));
+                assert!(o.no_cache);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse(&argv("store stats --store /tmp/sbstore")).unwrap(),
+            Cmd::StoreStats { store: PathBuf::from("/tmp/sbstore") }
+        );
+        assert!(parse(&argv("hunt --no-cache")).is_err(), "--no-cache needs --store");
+        assert!(parse(&argv("store")).is_err());
+        assert!(parse(&argv("store frobnicate")).is_err());
+        assert!(parse(&argv("store stats")).is_err());
+        assert!(parse(&argv("strategies --store /x")).is_err(), "hunt-only flag");
     }
 
     #[test]

@@ -4,13 +4,16 @@ use std::process::ExitCode;
 
 use sb_kernel::prog::{IoctlCmd, MsgCmd, Path, Res};
 use sb_kernel::{boot, bugs, KernelConfig, Program, Syscall};
+use sb_store::Store;
 use sb_vmm::Executor;
 use snowboard::cluster::ALL_STRATEGIES;
-use snowboard::metrics::{hits_bug, interleavings_to_expose, SchedKind};
+use snowboard::metrics::{hits_bug, interleavings_to_expose, SchedKind, StoreStats};
 use snowboard::pmc::identify;
 use snowboard::profile::profile_corpus;
 use snowboard::select::ClusterOrder;
-use snowboard::{CampaignCfg, CheckpointCfg, JobBudget, Pipeline, PipelineCfg, RetryPolicy};
+use snowboard::{
+    CampaignCfg, CheckpointCfg, IdentifyOpts, JobBudget, Pipeline, PipelineCfg, RetryPolicy,
+};
 
 use crate::args::{Cmd, HuntOpts, USAGE};
 
@@ -24,8 +27,70 @@ pub fn run(cmd: Cmd) -> ExitCode {
         Cmd::ListBugs => list_bugs(),
         Cmd::Strategies { config, seed, corpus } => strategies(config, seed, corpus),
         Cmd::Repro { bug } => repro(bug),
+        Cmd::StoreStats { store } => store_stats(&store),
         Cmd::Hunt(opts) => hunt(opts),
     }
+}
+
+fn print_store_error(context: &str, e: &sb_store::Error) {
+    eprint!("error: {context}: {e}");
+    let mut source = std::error::Error::source(e);
+    while let Some(s) = source {
+        eprint!("; {s}");
+        source = s.source();
+    }
+    eprintln!();
+}
+
+fn store_stats(dir: &std::path::Path) -> ExitCode {
+    let store = match Store::open(dir) {
+        Ok(s) => s,
+        Err(e) => {
+            print_store_error("opening store", &e);
+            return ExitCode::FAILURE;
+        }
+    };
+    let (hits, misses) = store.last_counters();
+    match store.last_hit_rate() {
+        Some(rate) => println!(
+            "last run: profile-hit-rate {:.1}% ({hits}/{})",
+            100.0 * rate,
+            hits + misses
+        ),
+        None => println!("last run: no profile lookups recorded"),
+    }
+    let (sizes, stats) = match store.segment_sizes() {
+        Ok(r) => r,
+        Err(e) => {
+            print_store_error("reading segments", &e);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{} segment file(s), {} bytes total", stats.segments, stats.bytes);
+    for (name, bytes) in sizes {
+        println!("  {name:<14} {bytes:>12} B");
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_hunt_store_stats(s: &StoreStats) {
+    let total = s.profile_hits + s.profile_misses;
+    println!(
+        "[store] profile-hit-rate {:.1}% ({}/{total})",
+        100.0 * s.hit_rate(),
+        s.profile_hits
+    );
+    let pmc_mode = if s.pmc_cache_hit {
+        "cached"
+    } else if s.pmc_incremental {
+        "incremental"
+    } else {
+        "rebuilt"
+    };
+    println!(
+        "[store] pmcs {pmc_mode}; {} segment(s), {} bytes; {} shard(s), skew {:.2}",
+        s.segments, s.stored_bytes, s.shards, s.shard_skew
+    );
 }
 
 fn list_bugs() -> ExitCode {
@@ -86,17 +151,45 @@ fn hunt(opts: HuntOpts) -> ExitCode {
         job_deadline_secs,
         checkpoint,
         resume,
+        store,
+        no_cache,
     } = opts;
     eprintln!("[hunt] preparing pipeline ({:?})...", config.version);
-    let p = Pipeline::prepare(
-        config,
-        PipelineCfg {
-            seed,
-            corpus_target: corpus,
-            fuzz_budget: (corpus as u64) * 15,
-            workers,
-        },
-    );
+    let pipeline_cfg = PipelineCfg {
+        seed,
+        corpus_target: corpus,
+        fuzz_budget: (corpus as u64) * 15,
+        workers,
+    };
+    let (p, store_stats) = match &store {
+        Some(dir) => {
+            let mut st = match Store::open(dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    print_store_error("opening store", &e);
+                    return ExitCode::FAILURE;
+                }
+            };
+            st.set_read_cache(!no_cache);
+            let shards = workers.max(1);
+            match sb_store::prepare(
+                config,
+                &pipeline_cfg,
+                &IdentifyOpts::sharded(shards, workers),
+                &mut st,
+            ) {
+                Ok((p, stats)) => {
+                    print_hunt_store_stats(&stats);
+                    (p, Some(stats))
+                }
+                Err(e) => {
+                    print_store_error("store-backed prepare", &e);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => (Pipeline::prepare(config, pipeline_cfg), None),
+    };
     eprintln!(
         "[hunt] {} tests, {} PMCs, {} {} clusters",
         p.corpus.len(),
@@ -133,7 +226,7 @@ fn hunt(opts: HuntOpts) -> ExitCode {
             fault_plan: Default::default(),
         },
     );
-    let report = match report {
+    let mut report = match report {
         Ok(r) => r,
         Err(e) => {
             eprint!("error: campaign failed:");
@@ -144,6 +237,7 @@ fn hunt(opts: HuntOpts) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    report.store = store_stats;
     println!(
         "tested {} PMCs in {} executions; {:.1}% exercised their predicted channel",
         report.tested(),

@@ -156,6 +156,9 @@ pub struct CampaignReport {
     /// Jobs that failed permanently, in job order. A non-empty list means
     /// the campaign completed *despite* failures, not that it failed.
     pub quarantined: Vec<QuarantineRecord>,
+    /// Profile/PMC store counters, when the pipeline ran against a persistent
+    /// store (`None` for in-memory runs).
+    pub store: Option<crate::metrics::StoreStats>,
 }
 
 impl CampaignReport {

@@ -100,17 +100,8 @@ impl Checkpoint {
     /// rename over `path`, so readers never observe a torn file.
     pub fn save(&self, path: &Path) -> SbResult<()> {
         let text = self.to_json().render();
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, text.as_bytes()).map_err(|source| Error::CheckpointIo {
-            path: tmp.clone(),
-            op: "write",
-            source,
-        })?;
-        std::fs::rename(&tmp, path).map_err(|source| Error::CheckpointIo {
-            path: path.to_path_buf(),
-            op: "rename",
-            source,
-        })
+        json::atomic_write(path, &text)
+            .map_err(|(op, path, source)| Error::CheckpointIo { path, op, source })
     }
 
     /// Loads and validates the shape of a snapshot from disk.

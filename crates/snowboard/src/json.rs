@@ -312,6 +312,22 @@ impl Parser<'_> {
     }
 }
 
+/// Atomically replaces the file at `path` with `text`: write `<path>.tmp`,
+/// then rename over `path`, so readers never observe a torn file. Shared by
+/// the campaign checkpoint and the profile-store manifest.
+///
+/// On failure returns `(op, path, source)` where `op` is `"write"` or
+/// `"rename"` and `path` is the file the failing operation touched, so
+/// callers can map into their own error types.
+pub fn atomic_write(
+    path: &std::path::Path,
+    text: &str,
+) -> Result<(), (&'static str, std::path::PathBuf, std::io::Error)> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, text.as_bytes()).map_err(|source| ("write", tmp.clone(), source))?;
+    std::fs::rename(&tmp, path).map_err(|source| ("rename", path.to_path_buf(), source))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

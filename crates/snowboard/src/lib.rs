@@ -64,8 +64,9 @@ pub use checkpoint::{Checkpoint, CheckpointCfg};
 pub use cluster::Strategy;
 pub use error::{Error, FailureKind, SbResult};
 pub use fault::FaultPlan;
-pub use pmc::{Pmc, PmcId, PmcSet};
-pub use profile::SeqProfile;
+pub use metrics::StoreStats;
+pub use pmc::{identify_sharded, IdentifyOpts, JoinReport, JoinState, Pmc, PmcId, PmcSet};
+pub use profile::{SeqProfile, SharedAccessFilter};
 pub use retry::RetryPolicy;
 pub use watchdog::JobBudget;
 

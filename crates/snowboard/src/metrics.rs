@@ -30,6 +30,49 @@ impl std::fmt::Display for SchedKind {
     }
 }
 
+/// Profile/PMC store effectiveness counters for one pipeline run.
+///
+/// Produced by `sb-store` (which depends on this crate, not vice versa) and
+/// surfaced through `CampaignReport` and the CLI.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StoreStats {
+    /// Sequential tests whose profile was served from the store.
+    pub profile_hits: u64,
+    /// Sequential tests that had to be re-profiled.
+    pub profile_misses: u64,
+    /// Of the hits, how many were cached *failures* (tests known not to
+    /// complete sequentially — skipped without re-execution).
+    pub failed_cached: u64,
+    /// True when the PMC set was loaded whole from the store (exact corpus
+    /// match) instead of being identified.
+    pub pmc_cache_hit: bool,
+    /// True when the PMC set was grown incrementally from a stored prefix
+    /// index instead of rebuilt from scratch.
+    pub pmc_incremental: bool,
+    /// Segment files currently in the store.
+    pub segments: u64,
+    /// Total bytes across segment files.
+    pub stored_bytes: u64,
+    /// Address-range shards used for identification (1 = sequential path).
+    pub shards: u64,
+    /// Max-over-mean shard load during identification; 1.0 is perfectly
+    /// balanced, 0.0 when no sharded join ran.
+    pub shard_skew: f64,
+}
+
+impl StoreStats {
+    /// Fraction of profile lookups served from the store, in `[0, 1]`.
+    /// Returns 1.0 when there were no lookups (nothing needed profiling).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.profile_hits + self.profile_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.profile_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Result of an interleavings-to-expose measurement.
 #[derive(Clone, Debug)]
 pub struct ExposeResult {

@@ -7,8 +7,31 @@
 //! communication. A PMC is keyed by the features of both accesses
 //! (instruction, memory range, value); multiple test pairs may map to the
 //! same PMC key (Algorithm 1 line 15).
+//!
+//! Identification is organized around [`JoinState`], the persistent form of
+//! Algorithm 1's index: deduplicated write and read records plus the folded
+//! PMC set. Three execution modes share one scan implementation:
+//!
+//! * **Batch** ([`identify`]) — the reference path: every profile ingested,
+//!   then every read joined against the full write index in read-major,
+//!   address-minor order. This order *is* the specification; the other two
+//!   modes reproduce or approximate it.
+//! * **Sharded parallel** ([`identify_sharded`]) — the write index is
+//!   partitioned into contiguous address ranges balanced by record count,
+//!   each shard's write×read join runs on its own worker, and per-read match
+//!   lists are merged back in shard (= address) order before the sequential
+//!   fold assigns ids. The result is bit-identical to the batch path because
+//!   concatenating the per-shard scans of one read in shard order is exactly
+//!   the batch path's single ordered range scan of that read.
+//! * **Incremental** ([`JoinState::resume`] + [`JoinState::add_profiles`]) —
+//!   when a corpus grows, only the new profiles are joined: existing reads ×
+//!   new writes first, then new reads × the full index. This yields the same
+//!   PMC universe (same keys, same df flags, same pair sets up to the
+//!   per-PMC pair cap) as a from-scratch rebuild, though PMC ids may be
+//!   permuted because id assignment order follows join order.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::ops::Range;
 
 use serde::{Deserialize, Serialize};
 
@@ -44,7 +67,7 @@ pub struct PmcKey {
 pub type PmcId = u32;
 
 /// A PMC plus the sequential-test pairs that exhibit it.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Pmc {
     /// Feature key.
     pub key: PmcKey,
@@ -76,7 +99,7 @@ impl Pmc {
 }
 
 /// The identified PMC universe for one corpus.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PmcSet {
     /// All PMCs; a [`PmcId`] is an index into this vector.
     pub pmcs: Vec<Pmc>,
@@ -109,6 +132,10 @@ struct Rec {
     value: u64,
     df_leader: bool,
 }
+
+/// The ordered nested write index: start address → range length → records
+/// in ingest order (§4.2.1).
+type WriteIndex = BTreeMap<u64, BTreeMap<u8, Vec<Rec>>>;
 
 /// Limits stored pairs per PMC; the paper stores all, but popular PMCs
 /// (e.g. allocator counters) would otherwise dominate memory without
@@ -147,107 +174,405 @@ pub fn df_leaders(profile: &SeqProfile) -> HashSet<usize> {
     leaders
 }
 
-/// Runs Algorithm 1 over the profiles, producing the PMC set.
-pub fn identify(profiles: &[SeqProfile]) -> PmcSet {
-    // Index all accesses (Algorithm 1 lines 1–5), deduplicating identical
-    // (test, ins, addr, len, value) records: repeated identical accesses by
-    // one test add no new PMCs.
-    let mut writes: BTreeMap<u64, BTreeMap<u8, Vec<Rec>>> = BTreeMap::new();
-    let mut reads: Vec<Rec> = Vec::new();
-    let mut seen_w: HashSet<(u32, u64, u64, u8, u64)> = HashSet::new();
-    let mut seen_r: HashSet<(u32, u64, u64, u8, u64)> = HashSet::new();
-    for p in profiles {
-        let leaders = df_leaders(p);
-        for (i, a) in p.accesses.iter().enumerate() {
-            let sig = (p.test, a.site.0, a.addr, a.len, a.value);
-            match a.kind {
-                AccessKind::Write => {
-                    if seen_w.insert(sig) {
-                        writes.entry(a.addr).or_default().entry(a.len).or_default().push(Rec {
-                            test: p.test,
-                            ins: a.site,
-                            addr: a.addr,
-                            len: a.len,
-                            value: a.value,
-                            df_leader: false,
-                        });
-                    }
-                }
-                AccessKind::Read => {
-                    let df = leaders.contains(&i);
-                    // A df_leader read and a plain read with the same
-                    // signature must both survive; fold df into the dedup
-                    // signature's value slot via a separate set entry.
-                    if seen_r.insert(sig) || df {
-                        reads.push(Rec {
-                            test: p.test,
-                            ins: a.site,
-                            addr: a.addr,
-                            len: a.len,
-                            value: a.value,
-                            df_leader: df,
-                        });
-                    }
-                }
-            }
+/// How the write×read join of one [`JoinState::add_profiles`] call runs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct IdentifyOpts {
+    /// Address-range shards the write index is partitioned into; 1 runs the
+    /// join inline on the calling thread.
+    pub shards: usize,
+    /// Worker threads the shard jobs fan out across (via `sb_queue`).
+    pub workers: usize,
+}
+
+impl Default for IdentifyOpts {
+    fn default() -> Self {
+        IdentifyOpts {
+            shards: 1,
+            workers: 1,
         }
     }
+}
 
-    // Scan overlaps (lines 6–15): for each read, range-query the ordered
-    // nested write index for starts in [addr-7, end).
-    let mut set = PmcSet::default();
-    let mut index: HashMap<PmcKey, PmcId> = HashMap::new();
-    let mut pair_seen: HashMap<PmcId, HashSet<(u32, u32)>> = HashMap::new();
-    for r in &reads {
-        let lo = r.addr.saturating_sub(7);
-        let hi = r.addr + u64::from(r.len); // Exclusive upper bound on write starts.
-        for (_wa, by_len) in writes.range(lo..hi) {
-            for (_wl, recs) in by_len.iter() {
-                for w in recs {
-                    let Some((ostart, olen)) = range_overlap(w.addr, w.len, r.addr, r.len) else {
-                        continue;
-                    };
-                    // project_value (lines 9–10): compare over the overlap.
-                    let wv = project(w.value, w.addr, ostart, olen);
-                    let rv = project(r.value, r.addr, ostart, olen);
-                    if wv == rv {
-                        continue;
+impl IdentifyOpts {
+    /// Sharded-parallel options: `shards` address shards on `workers`
+    /// threads.
+    pub fn sharded(shards: usize, workers: usize) -> Self {
+        IdentifyOpts {
+            shards: shards.max(1),
+            workers: workers.max(1),
+        }
+    }
+}
+
+/// Work accounting from one `add_profiles` join, for shard-skew reporting.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JoinReport {
+    /// Candidate (write, read) matches folded per shard. Length equals the
+    /// shard count actually used (1 for the inline path).
+    pub shard_matches: Vec<u64>,
+}
+
+impl JoinReport {
+    /// Total matches folded across all shards.
+    pub fn matches(&self) -> u64 {
+        self.shard_matches.iter().sum()
+    }
+
+    /// Load skew: max shard load over mean shard load (1.0 = perfectly
+    /// balanced; 0.0 when no work was done).
+    pub fn skew(&self) -> f64 {
+        let total = self.matches();
+        if total == 0 || self.shard_matches.is_empty() {
+            return 0.0;
+        }
+        let max = *self.shard_matches.iter().max().expect("non-empty") as f64;
+        let mean = total as f64 / self.shard_matches.len() as f64;
+        max / mean
+    }
+
+    fn absorb(&mut self, other: JoinReport) {
+        if self.shard_matches.len() < other.shard_matches.len() {
+            self.shard_matches.resize(other.shard_matches.len(), 0);
+        }
+        for (slot, m) in other.shard_matches.into_iter().enumerate() {
+            self.shard_matches[slot] += m;
+        }
+    }
+}
+
+/// Algorithm 1's state in persistent form: the deduplicated write/read
+/// records, the ordered nested write index, and the folded PMC set.
+///
+/// Supports growing a PMC universe across batches: `add_profiles` ingests a
+/// batch and joins only what is new (existing reads × new writes, then new
+/// reads × the full write index), so re-indexing after corpus growth costs
+/// the new joins, not a rebuild.
+#[derive(Clone, Debug, Default)]
+pub struct JoinState {
+    writes: WriteIndex,
+    reads: Vec<Rec>,
+    seen_w: HashSet<(u32, u64, u64, u8, u64)>,
+    seen_r: HashSet<(u32, u64, u64, u8, u64)>,
+    set: PmcSet,
+    index: HashMap<PmcKey, PmcId>,
+    pair_seen: HashMap<PmcId, HashSet<(u32, u32)>>,
+}
+
+impl JoinState {
+    /// An empty state; `add_profiles` over everything reproduces
+    /// [`identify`] exactly.
+    pub fn new() -> Self {
+        JoinState::default()
+    }
+
+    /// The PMC set folded so far.
+    pub fn set(&self) -> &PmcSet {
+        &self.set
+    }
+
+    /// Consumes the state, returning the folded PMC set.
+    pub fn into_set(self) -> PmcSet {
+        self.set
+    }
+
+    /// Number of deduplicated read records indexed so far.
+    pub fn reads_indexed(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Rebuilds a state from profiles that were *already joined* into `set`
+    /// (e.g. loaded from a persistent store), without re-running the join.
+    /// Only ingest work (linear in total accesses) is paid; subsequent
+    /// `add_profiles` calls join new batches against this index.
+    pub fn resume(profiles: &[SeqProfile], set: PmcSet) -> Self {
+        let mut st = JoinState::new();
+        let mut batch = WriteIndex::new();
+        st.ingest(profiles, &mut batch);
+        merge_writes(&mut st.writes, batch);
+        st.index = set
+            .pmcs
+            .iter()
+            .enumerate()
+            .map(|(id, p)| (p.key, id as PmcId))
+            .collect();
+        // `pair_seen` is only consulted while a PMC is under the pair cap,
+        // and entries are only added while under it, so the stored pair
+        // list reconstructs it exactly.
+        st.pair_seen = set
+            .pmcs
+            .iter()
+            .enumerate()
+            .map(|(id, p)| (id as PmcId, p.pairs.iter().copied().collect()))
+            .collect();
+        st.set = set;
+        st
+    }
+
+    /// Ingests a batch (Algorithm 1 lines 1–5): deduplicates records into
+    /// the read list and `batch_writes`, leaving `self.writes` untouched so
+    /// the caller can join old reads against only the new writes.
+    /// Returns the index of the first read added by this batch.
+    fn ingest(&mut self, profiles: &[SeqProfile], batch_writes: &mut WriteIndex) -> usize {
+        let first_new_read = self.reads.len();
+        for p in profiles {
+            let leaders = df_leaders(p);
+            for (i, a) in p.accesses.iter().enumerate() {
+                let sig = (p.test, a.site.0, a.addr, a.len, a.value);
+                match a.kind {
+                    AccessKind::Write => {
+                        if self.seen_w.insert(sig) {
+                            batch_writes
+                                .entry(a.addr)
+                                .or_default()
+                                .entry(a.len)
+                                .or_default()
+                                .push(Rec {
+                                    test: p.test,
+                                    ins: a.site,
+                                    addr: a.addr,
+                                    len: a.len,
+                                    value: a.value,
+                                    df_leader: false,
+                                });
+                        }
                     }
-                    let key = PmcKey {
-                        w: SideKey {
-                            ins: w.ins,
-                            addr: w.addr,
-                            len: w.len,
-                            value: w.value,
-                        },
-                        r: SideKey {
-                            ins: r.ins,
-                            addr: r.addr,
-                            len: r.len,
-                            value: r.value,
-                        },
-                    };
-                    let id = *index.entry(key).or_insert_with(|| {
-                        set.pmcs.push(Pmc {
-                            key,
-                            df_leader: r.df_leader,
-                            pairs: Vec::new(),
-                        });
-                        (set.pmcs.len() - 1) as PmcId
-                    });
-                    let pmc = &mut set.pmcs[id as usize];
-                    pmc.df_leader |= r.df_leader;
-                    if pmc.pairs.len() < MAX_PAIRS_PER_PMC {
-                        let pair = (w.test, r.test);
-                        if pair_seen.entry(id).or_default().insert(pair) {
-                            pmc.pairs.push(pair);
+                    AccessKind::Read => {
+                        let df = leaders.contains(&i);
+                        // A df_leader read and a plain read with the same
+                        // signature must both survive; fold df into the
+                        // dedup signature via a separate set entry.
+                        if self.seen_r.insert(sig) || df {
+                            self.reads.push(Rec {
+                                test: p.test,
+                                ins: a.site,
+                                addr: a.addr,
+                                len: a.len,
+                                value: a.value,
+                                df_leader: df,
+                            });
                         }
                     }
                 }
             }
         }
+        first_new_read
     }
-    set
+
+    /// Ingests `profiles` and joins what is new. On an empty state this is
+    /// Algorithm 1 verbatim; on a resumed/grown state it is the incremental
+    /// re-index (old reads × new writes, then new reads × all writes).
+    pub fn add_profiles(&mut self, profiles: &[SeqProfile], opts: &IdentifyOpts) -> JoinReport {
+        let mut batch_writes = WriteIndex::new();
+        let first_new_read = self.ingest(profiles, &mut batch_writes);
+        let mut report = JoinReport::default();
+        // Phase 1: reads indexed by earlier batches × this batch's writes.
+        if first_new_read > 0 && !batch_writes.is_empty() {
+            report.absorb(self.join(0..first_new_read, &batch_writes, opts));
+        }
+        merge_writes(&mut self.writes, batch_writes);
+        // Phase 2: this batch's reads × the full write index.
+        if first_new_read < self.reads.len() && !self.writes.is_empty() {
+            let writes = std::mem::take(&mut self.writes);
+            report.absorb(self.join(first_new_read..self.reads.len(), &writes, opts));
+            self.writes = writes;
+        }
+        report
+    }
+
+    /// Joins `reads[read_range]` against `writes`, folding matches into the
+    /// PMC set in read-major, write-address-minor order.
+    fn join(&mut self, read_range: Range<usize>, writes: &WriteIndex, opts: &IdentifyOpts) -> JoinReport {
+        if opts.shards <= 1 {
+            // Inline reference path: fold as the scan produces matches.
+            let mut matches = 0u64;
+            for idx in read_range {
+                let r = self.reads[idx];
+                scan_read(writes, r, 0, u64::MAX, |w| {
+                    self.fold_match(w, r);
+                    matches += 1;
+                });
+            }
+            return JoinReport {
+                shard_matches: vec![matches],
+            };
+        }
+
+        let bounds = shard_bounds(writes, opts.shards);
+        let nshards = bounds.len();
+        let reads = &self.reads;
+        let range = read_range.clone();
+        // Each shard scans every read's window clipped to its own address
+        // interval; within a shard, matches come out read-major and
+        // address-minor, exactly like the reference scan restricted to that
+        // interval.
+        let shard_matches: Vec<Vec<(u32, Rec)>> = sb_queue::run_jobs(
+            bounds,
+            opts.workers,
+            || (),
+            |(), (shard_lo, shard_hi)| {
+                let mut out: Vec<(u32, Rec)> = Vec::new();
+                for idx in range.clone() {
+                    let r = reads[idx];
+                    scan_read(writes, r, shard_lo, shard_hi, |w| {
+                        out.push((idx as u32, w));
+                    });
+                }
+                out
+            },
+        );
+        // Merge: for each read in order, drain each shard's matches for that
+        // read in shard (= address) order. Concatenating the clipped scans
+        // in address order reconstructs the reference scan order, so the
+        // fold below assigns identical PMC ids and pair lists.
+        let mut report = JoinReport {
+            shard_matches: vec![0; nshards],
+        };
+        let mut cursors = vec![0usize; nshards];
+        for idx in read_range {
+            let r = self.reads[idx];
+            for (s, ms) in shard_matches.iter().enumerate() {
+                while cursors[s] < ms.len() && ms[cursors[s]].0 == idx as u32 {
+                    let (_, w) = ms[cursors[s]];
+                    self.fold_match(w, r);
+                    report.shard_matches[s] += 1;
+                    cursors[s] += 1;
+                }
+            }
+        }
+        report
+    }
+
+    /// Folds one candidate (write, read) match into the PMC set: key build,
+    /// id assignment, df propagation, capped pair dedup (lines 11–15).
+    fn fold_match(&mut self, w: Rec, r: Rec) {
+        let JoinState {
+            set,
+            index,
+            pair_seen,
+            ..
+        } = self;
+        let key = PmcKey {
+            w: SideKey {
+                ins: w.ins,
+                addr: w.addr,
+                len: w.len,
+                value: w.value,
+            },
+            r: SideKey {
+                ins: r.ins,
+                addr: r.addr,
+                len: r.len,
+                value: r.value,
+            },
+        };
+        let id = *index.entry(key).or_insert_with(|| {
+            set.pmcs.push(Pmc {
+                key,
+                df_leader: r.df_leader,
+                pairs: Vec::new(),
+            });
+            (set.pmcs.len() - 1) as PmcId
+        });
+        let pmc = &mut set.pmcs[id as usize];
+        pmc.df_leader |= r.df_leader;
+        if pmc.pairs.len() < MAX_PAIRS_PER_PMC {
+            let pair = (w.test, r.test);
+            if pair_seen.entry(id).or_default().insert(pair) {
+                pmc.pairs.push(pair);
+            }
+        }
+    }
+}
+
+/// Scans the ordered nested write index for matches with read `r`, clipped
+/// to write start addresses in `[shard_lo, shard_hi)` — the single scan
+/// implementation shared by the inline and sharded paths (lines 6–10).
+fn scan_read(
+    writes: &WriteIndex,
+    r: Rec,
+    shard_lo: u64,
+    shard_hi: u64,
+    mut emit: impl FnMut(Rec),
+) {
+    let lo = r.addr.saturating_sub(7).max(shard_lo);
+    // Exclusive upper bound on write starts.
+    let hi = (r.addr + u64::from(r.len)).min(shard_hi);
+    if lo >= hi {
+        return;
+    }
+    for (_wa, by_len) in writes.range(lo..hi) {
+        for recs in by_len.values() {
+            for w in recs {
+                let Some((ostart, olen)) = range_overlap(w.addr, w.len, r.addr, r.len) else {
+                    continue;
+                };
+                // project_value (lines 9–10): compare over the overlap.
+                if project(w.value, w.addr, ostart, olen) == project(r.value, r.addr, ostart, olen)
+                {
+                    continue;
+                }
+                emit(*w);
+            }
+        }
+    }
+}
+
+/// Appends a batch's write records into the accumulated index, preserving
+/// ingest order within each (addr, len) bucket.
+fn merge_writes(into: &mut WriteIndex, batch: WriteIndex) {
+    for (addr, by_len) in batch {
+        let slot = into.entry(addr).or_default();
+        for (len, mut recs) in by_len {
+            slot.entry(len).or_default().append(&mut recs);
+        }
+    }
+}
+
+/// Partitions the write index's start addresses into up to `shards`
+/// contiguous half-open intervals `[lo, hi)`, balanced by record count.
+/// The final interval's `hi` is `u64::MAX`, which is unreachable as a write
+/// start in practice (an access's range would overflow the address space).
+fn shard_bounds(writes: &WriteIndex, shards: usize) -> Vec<(u64, u64)> {
+    let total: usize = writes
+        .values()
+        .map(|by_len| by_len.values().map(Vec::len).sum::<usize>())
+        .sum();
+    if total == 0 {
+        return vec![(0, u64::MAX)];
+    }
+    let per_shard = total.div_ceil(shards.max(1));
+    let mut bounds: Vec<(u64, u64)> = Vec::new();
+    let mut lo = 0u64;
+    let mut load = 0usize;
+    for (addr, by_len) in writes {
+        load += by_len.values().map(Vec::len).sum::<usize>();
+        if load >= per_shard && bounds.len() + 1 < shards {
+            // Split *after* this address: its records stay in this shard.
+            bounds.push((lo, addr.saturating_add(1)));
+            lo = addr.saturating_add(1);
+            load = 0;
+        }
+    }
+    bounds.push((lo, u64::MAX));
+    bounds
+}
+
+/// Runs Algorithm 1 over the profiles, producing the PMC set — the
+/// single-threaded reference path.
+pub fn identify(profiles: &[SeqProfile]) -> PmcSet {
+    let mut st = JoinState::new();
+    st.add_profiles(profiles, &IdentifyOpts::default());
+    st.into_set()
+}
+
+/// Runs Algorithm 1 with the write×read join sharded by address range
+/// across `workers` threads. The result is bit-identical to [`identify`]
+/// (same PMC ids, keys, df flags, and pair lists) — property-tested in
+/// `tests/shard_equivalence.rs`.
+pub fn identify_sharded(profiles: &[SeqProfile], shards: usize, workers: usize) -> PmcSet {
+    let mut st = JoinState::new();
+    st.add_profiles(profiles, &IdentifyOpts::sharded(shards, workers));
+    st.into_set()
 }
 
 /// Projects `value` (stored at `base`) onto the `len`-byte window starting
@@ -406,6 +731,147 @@ mod tests {
             ],
         );
         assert!(df_leaders(&diff_val).is_empty());
+    }
+
+    /// Canonical view of a PMC set: keys + df flags + sorted pair lists,
+    /// order-independent. Incremental joins are compared this way because
+    /// their id assignment order differs from a from-scratch rebuild.
+    type CanonicalPmc = (PmcKey, bool, Vec<(u32, u32)>);
+
+    fn canonical(set: &PmcSet) -> Vec<CanonicalPmc> {
+        let mut v: Vec<_> = set
+            .pmcs
+            .iter()
+            .map(|p| {
+                let mut pairs = p.pairs.clone();
+                pairs.sort_unstable();
+                (p.key, p.df_leader, pairs)
+            })
+            .collect();
+        v.sort_unstable_by_key(|(k, _, _)| (k.w.ins.0, k.w.addr, k.r.ins.0, k.r.addr, k.w.value, k.r.value));
+        v
+    }
+
+    /// A small synthetic corpus with overlapping ranges, partial overlaps,
+    /// df chains, and repeated signatures across several address clusters.
+    fn synthetic_profiles(tests: u32) -> Vec<SeqProfile> {
+        (0..tests)
+            .map(|t| {
+                let base = 0x1000 + u64::from(t % 5) * 0x40;
+                prof(
+                    t,
+                    vec![
+                        ("w:a", Write, base, 8, u64::from(t) + 1),
+                        ("w:b", Write, base + 4, 4, 0xAA00 + u64::from(t)),
+                        ("r:a", Read, base, 8, 0),
+                        ("r:b", Read, base + 2, 2, u64::from(t % 3)),
+                        ("df:1", Read, base + 16, 4, 7),
+                        ("df:2", Read, base + 16, 4, 7),
+                        ("w:c", Write, base + 16, 4, u64::from(t) * 3),
+                        ("r:c", Read, base + 17, 2, 1),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_join_is_bit_identical_to_sequential() {
+        let profiles = synthetic_profiles(12);
+        let seq = identify(&profiles);
+        assert!(!seq.is_empty());
+        for shards in [2, 3, 4, 7] {
+            let par = identify_sharded(&profiles, shards, 4);
+            assert_eq!(par, seq, "{shards} shards must match the reference");
+        }
+    }
+
+    #[test]
+    fn single_shard_options_reproduce_identify() {
+        let profiles = synthetic_profiles(6);
+        assert_eq!(identify_sharded(&profiles, 1, 1), identify(&profiles));
+    }
+
+    #[test]
+    fn incremental_batches_cover_the_same_universe() {
+        let profiles = synthetic_profiles(10);
+        let scratch = identify(&profiles);
+        let mut st = JoinState::new();
+        let opts = IdentifyOpts::sharded(3, 2);
+        st.add_profiles(&profiles[..4], &opts);
+        st.add_profiles(&profiles[4..7], &opts);
+        st.add_profiles(&profiles[7..], &opts);
+        assert_eq!(canonical(st.set()), canonical(&scratch));
+    }
+
+    #[test]
+    fn resume_then_grow_matches_rebuild() {
+        let profiles = synthetic_profiles(9);
+        let old = identify(&profiles[..5]);
+        // Resume from the persisted set + its source profiles, then join
+        // only the new profiles.
+        let mut st = JoinState::resume(&profiles[..5], old);
+        let report = st.add_profiles(&profiles[5..], &IdentifyOpts::sharded(4, 2));
+        assert!(report.matches() > 0, "growth must produce new joins");
+        assert_eq!(canonical(st.set()), canonical(&identify(&profiles)));
+    }
+
+    #[test]
+    fn resume_with_no_growth_changes_nothing() {
+        // df-free corpus: re-adding already-ingested profiles dedups to zero
+        // new records and zero joins.
+        let profiles: Vec<SeqProfile> = (0..5)
+            .map(|t| {
+                prof(
+                    t,
+                    vec![
+                        ("w", Write, 0x2000, 8, u64::from(t) + 1),
+                        ("r", Read, 0x2002, 4, 0),
+                    ],
+                )
+            })
+            .collect();
+        let set = identify(&profiles);
+        let mut st = JoinState::resume(&profiles, set.clone());
+        let report = st.add_profiles(&profiles, &IdentifyOpts::default());
+        assert_eq!(report.matches(), 0);
+        assert_eq!(*st.set(), set);
+
+        // With double-fetch chains the leader read intentionally escapes the
+        // dedup (`seen_r.insert(sig) || df`), so re-ingest re-joins it — but
+        // the folded set must still be unchanged (pairs dedup per PMC).
+        let dfp = synthetic_profiles(5);
+        let dfset = identify(&dfp);
+        let mut st = JoinState::resume(&dfp, dfset.clone());
+        st.add_profiles(&dfp, &IdentifyOpts::default());
+        assert_eq!(*st.set(), dfset);
+    }
+
+    #[test]
+    fn join_report_skew_is_max_over_mean() {
+        let r = JoinReport {
+            shard_matches: vec![30, 10, 20],
+        };
+        assert_eq!(r.matches(), 60);
+        assert!((r.skew() - 1.5).abs() < 1e-12);
+        assert_eq!(JoinReport::default().skew(), 0.0);
+    }
+
+    #[test]
+    fn shard_bounds_partition_all_write_addresses() {
+        let profiles = synthetic_profiles(8);
+        let mut st = JoinState::new();
+        let mut batch = WriteIndex::new();
+        st.ingest(&profiles, &mut batch);
+        let bounds = shard_bounds(&batch, 4);
+        assert!(!bounds.is_empty() && bounds.len() <= 4);
+        // Contiguous, non-overlapping, covering [0, u64::MAX).
+        assert_eq!(bounds[0].0, 0);
+        assert_eq!(bounds.last().expect("bounds").1, u64::MAX);
+        for w in bounds.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+            assert!(w[0].0 < w[0].1);
+        }
     }
 
     #[test]

@@ -9,12 +9,13 @@
 
 use sb_kernel::{BootedKernel, Program};
 use sb_vmm::access::Access;
-use sb_vmm::mem::{stack_base, stack_range_of};
+use sb_vmm::mem::{stack_base, stack_range_of, MAX_THREADS};
 use sb_vmm::sched::FreeRun;
 use sb_vmm::Executor;
+use serde::{Deserialize, Serialize};
 
 /// The memory-access profile of one sequential test.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SeqProfile {
     /// Corpus index of the profiled test.
     pub test: u32,
@@ -24,17 +25,57 @@ pub struct SeqProfile {
     pub steps: u64,
 }
 
+/// The §4.1.1 stack filter with every thread's stack range precomputed, so a
+/// profile pass resolves `stack_base`/`stack_range_of` once instead of per
+/// access.
+#[derive(Clone, Copy, Debug)]
+pub struct SharedAccessFilter {
+    ranges: [(u64, u64); MAX_THREADS],
+}
+
+impl SharedAccessFilter {
+    /// Builds the filter from the fixed thread-stack layout.
+    pub fn new() -> Self {
+        let mut ranges = [(0u64, 0u64); MAX_THREADS];
+        for (tid, range) in ranges.iter_mut().enumerate() {
+            *range = stack_range_of(stack_base(tid) + 16);
+        }
+        SharedAccessFilter { ranges }
+    }
+
+    /// True if `a` falls outside the accessing thread's kernel stack.
+    pub fn is_shared(&self, a: &Access) -> bool {
+        let (lo, hi) = self.ranges[a.thread];
+        !(a.addr >= lo && a.addr < hi)
+    }
+}
+
+impl Default for SharedAccessFilter {
+    fn default() -> Self {
+        SharedAccessFilter::new()
+    }
+}
+
 /// True if `a` falls outside the accessing thread's kernel stack, using the
 /// §4.1.1 mask: `[sp & !(STACK_SIZE-1), (sp & !(STACK_SIZE-1)) + STACK_SIZE)`.
 pub fn is_shared_access(a: &Access) -> bool {
-    let sp = stack_base(a.thread) + 16;
-    let (lo, hi) = stack_range_of(sp);
-    !(a.addr >= lo && a.addr < hi)
+    SharedAccessFilter::new().is_shared(a)
 }
 
 /// Profiles one program from the snapshot. Panicking or non-completing
 /// sequential tests yield `None` — they cannot serve as profile sources.
 pub fn profile_one(exec: &mut Executor, booted: &BootedKernel, test: u32, prog: &Program) -> Option<SeqProfile> {
+    profile_one_filtered(exec, booted, test, prog, &SharedAccessFilter::new())
+}
+
+/// [`profile_one`] with a caller-provided (hoisted) stack filter.
+pub fn profile_one_filtered(
+    exec: &mut Executor,
+    booted: &BootedKernel,
+    test: u32,
+    prog: &Program,
+    filter: &SharedAccessFilter,
+) -> Option<SeqProfile> {
     let r = exec.run(
         booted.snapshot.clone(),
         vec![booted.kernel.process_job(prog.clone())],
@@ -47,13 +88,31 @@ pub fn profile_one(exec: &mut Executor, booted: &BootedKernel, test: u32, prog: 
         .report
         .trace
         .into_iter()
-        .filter(is_shared_access)
+        .filter(|a| filter.is_shared(a))
         .collect();
     Some(SeqProfile {
         test,
         accesses,
         steps: r.report.steps,
     })
+}
+
+/// Profiles an explicit job list, fanning out across `workers` executors via
+/// the work queue. Unlike [`profile_corpus`] the result keeps failed tests as
+/// `(test, None)` — callers that cache profiles need the negative outcome —
+/// and is in job order.
+pub fn profile_jobs(
+    booted: &BootedKernel,
+    jobs: Vec<(u32, Program)>,
+    workers: usize,
+) -> Vec<(u32, Option<SeqProfile>)> {
+    let filter = SharedAccessFilter::new();
+    sb_queue::run_jobs(
+        jobs,
+        workers,
+        || Executor::new(1),
+        |exec, (i, prog)| (i, profile_one_filtered(exec, booted, i, &prog, &filter)),
+    )
 }
 
 /// Profiles a whole corpus, fanning out across `workers` executors via the
@@ -65,15 +124,10 @@ pub fn profile_corpus(booted: &BootedKernel, corpus: &[Program], workers: usize)
         .enumerate()
         .map(|(i, p)| (i as u32, p.clone()))
         .collect();
-    sb_queue::run_jobs(
-        jobs,
-        workers,
-        || Executor::new(1),
-        |exec, (i, prog)| profile_one(exec, booted, i, &prog),
-    )
-    .into_iter()
-    .flatten()
-    .collect()
+    profile_jobs(booted, jobs, workers)
+        .into_iter()
+        .filter_map(|(_, p)| p)
+        .collect()
 }
 
 #[cfg(test)]
@@ -126,6 +180,58 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(sig(&p), sig(&p2), "same snapshot, same accesses");
+    }
+
+    #[test]
+    fn hoisted_filter_matches_per_access_formula() {
+        let filter = SharedAccessFilter::new();
+        let mut a = Access {
+            seq: 0,
+            thread: 0,
+            site: site!("pf:probe"),
+            kind: AccessKind::Read,
+            addr: 0,
+            len: 8,
+            value: 0,
+            atomic: false,
+            locks: vec![],
+            rcu_depth: 0,
+        };
+        for tid in 0..MAX_THREADS {
+            a.thread = tid;
+            for addr in [
+                0x1_0000,
+                stack_base(tid) - 1,
+                stack_base(tid),
+                stack_base(tid) + sb_vmm::mem::STACK_SIZE - 1,
+                stack_base(tid) + sb_vmm::mem::STACK_SIZE,
+            ] {
+                a.addr = addr;
+                let sp = stack_base(a.thread) + 16;
+                let (lo, hi) = stack_range_of(sp);
+                let reference = !(a.addr >= lo && a.addr < hi);
+                assert_eq!(filter.is_shared(&a), reference, "tid {tid} addr {addr:#x}");
+                assert_eq!(is_shared_access(&a), reference);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_jobs_keeps_failures_in_job_order() {
+        let booted = boot(KernelConfig::v5_12_rc3());
+        let jobs = vec![
+            (7u32, Program::new(vec![Syscall::Msgget { key: 1 }])),
+            (9u32, Program::new(vec![Syscall::Mount])),
+        ];
+        let out = profile_jobs(&booted, jobs, 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 7);
+        assert_eq!(out[1].0, 9);
+        for (id, p) in &out {
+            let p = p.as_ref().expect("both programs complete");
+            assert_eq!(p.test, *id);
+            assert!(!p.accesses.is_empty());
+        }
     }
 
     #[test]

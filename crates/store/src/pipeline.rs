@@ -1,0 +1,129 @@
+//! Store-backed pipeline preparation.
+//!
+//! [`prepare`] is `snowboard::Pipeline::prepare` with persistence spliced
+//! into stages 1–2: profiles are served from the store when their content
+//! key matches (unchanged tests are never re-profiled), only misses are
+//! executed, and PMC identification reuses a stored set — whole on an exact
+//! corpus match, incrementally grown on a prefix match, rebuilt with the
+//! sharded parallel path otherwise.
+
+use std::time::Instant;
+
+use sb_kernel::{boot, KernelConfig};
+use snowboard::metrics::StoreStats;
+use snowboard::pmc::{IdentifyOpts, JoinState};
+use snowboard::profile::{self, SeqProfile};
+use snowboard::{Pipeline, PipelineCfg, PrepStats};
+
+use crate::store::{profile_key, PmcLookup, ProfileLookup, Store};
+use crate::Error;
+
+/// Prepares pipeline stages 1–2 against `store`. Returns the prepared
+/// pipeline plus this run's store effectiveness counters.
+pub fn prepare(
+    config: KernelConfig,
+    cfg: &PipelineCfg,
+    identify: &IdentifyOpts,
+    store: &mut Store,
+) -> Result<(Pipeline, StoreStats), Error> {
+    let booted = boot(config);
+    let t0 = Instant::now();
+    let (corpus, fuzz_stats) =
+        sb_fuzz::build_corpus(&booted, cfg.seed, cfg.corpus_target, cfg.fuzz_budget);
+    let fuzz_time = t0.elapsed();
+
+    // Stage 1: profile, serving unchanged tests from the store.
+    let t1 = Instant::now();
+    let keys: Vec<u64> = corpus
+        .iter()
+        .map(|p| profile_key(&config, cfg.seed, p))
+        .collect();
+    let mut slots: Vec<Option<Option<SeqProfile>>> = vec![None; corpus.len()];
+    let mut jobs = Vec::new();
+    for (i, prog) in corpus.iter().enumerate() {
+        match store.lookup_profile(keys[i], i as u32)? {
+            ProfileLookup::Hit(p) => slots[i] = Some(Some(p)),
+            ProfileLookup::FailedCached => slots[i] = Some(None),
+            ProfileLookup::Miss => jobs.push((i as u32, prog.clone())),
+        }
+    }
+    let fresh = profile::profile_jobs(&booted, jobs, cfg.workers);
+    let batch: Vec<(u64, Option<SeqProfile>)> = fresh
+        .iter()
+        .map(|(i, p)| (keys[*i as usize], p.clone()))
+        .collect();
+    store.insert_profiles(&batch)?;
+    for (i, p) in fresh {
+        slots[i as usize] = Some(p);
+    }
+    let profiles: Vec<SeqProfile> = slots
+        .into_iter()
+        .filter_map(|s| s.expect("every corpus entry resolved"))
+        .collect();
+    let profile_time = t1.elapsed();
+
+    // Stage 2: identify, reusing a stored set when possible.
+    let t2 = Instant::now();
+    let mut pmc_cache_hit = false;
+    let mut pmc_incremental = false;
+    let mut shard_report = None;
+    let pmcs = match store.lookup_pmcs(&keys)? {
+        PmcLookup::Exact(set) => {
+            pmc_cache_hit = true;
+            set
+        }
+        PmcLookup::Prefix(set, prefix_len) => {
+            pmc_incremental = true;
+            let (old, new): (Vec<SeqProfile>, Vec<SeqProfile>) = profiles
+                .iter()
+                .cloned()
+                .partition(|p| (p.test as usize) < prefix_len);
+            let mut st = JoinState::resume(&old, set);
+            shard_report = Some(st.add_profiles(&new, identify));
+            st.into_set()
+        }
+        PmcLookup::Miss => {
+            let mut st = JoinState::new();
+            shard_report = Some(st.add_profiles(&profiles, identify));
+            st.into_set()
+        }
+    };
+    if !pmc_cache_hit {
+        store.save_pmcs(&keys, &pmcs)?;
+    }
+    store.flush()?;
+    let identify_time = t2.elapsed();
+
+    let (_, seg_stats) = store.segment_sizes()?;
+    let store_stats = StoreStats {
+        profile_hits: store.profile_hits,
+        profile_misses: store.profile_misses,
+        failed_cached: store.failed_cached,
+        pmc_cache_hit,
+        pmc_incremental,
+        segments: seg_stats.segments,
+        stored_bytes: seg_stats.bytes,
+        shards: identify.shards as u64,
+        shard_skew: shard_report.as_ref().map_or(0.0, |r| r.skew()),
+    };
+    let stats = PrepStats {
+        fuzz_executed: fuzz_stats.executed,
+        corpus_kept: fuzz_stats.kept,
+        edges: fuzz_stats.edges,
+        shared_accesses: profiles.iter().map(|p| p.accesses.len()).sum(),
+        pmcs_identified: pmcs.len(),
+        fuzz_time,
+        profile_time,
+        identify_time,
+    };
+    Ok((
+        Pipeline {
+            booted,
+            corpus,
+            profiles,
+            pmcs,
+            stats,
+        },
+        store_stats,
+    ))
+}

@@ -1,0 +1,147 @@
+//! Append-only segment files.
+//!
+//! One segment file is written per corpus chunk (one `insert_profiles`
+//! call). Records are offset-addressable — the manifest remembers
+//! `(segment, offset, len)` per content key, and reads seek straight to the
+//! record. Each record embeds its content key so a stale or rewritten
+//! manifest cannot silently serve the wrong payload.
+//!
+//! Layout: 8-byte magic, then records of `[key: u64 LE][len: u32 LE][payload]`.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::Error;
+
+/// Magic prefix of profile segment files.
+pub const PROFILE_MAGIC: &[u8; 8] = b"SBSEG001";
+/// Magic prefix of PMC-set segment files.
+pub const PMC_MAGIC: &[u8; 8] = b"SBPMC001";
+
+fn io_err<'a>(op: &'static str, path: &'a Path) -> impl FnOnce(std::io::Error) -> Error + 'a {
+    move |source| Error::Io {
+        op,
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// Writes one segment file record by record.
+pub struct SegmentWriter {
+    file: File,
+    path: PathBuf,
+    offset: u64,
+}
+
+impl SegmentWriter {
+    /// Creates the file at `path` and writes `magic`.
+    pub fn create(path: &Path, magic: &[u8; 8]) -> Result<SegmentWriter, Error> {
+        let mut file = File::create(path).map_err(io_err("create", path))?;
+        file.write_all(magic).map_err(io_err("write", path))?;
+        Ok(SegmentWriter {
+            file,
+            path: path.to_path_buf(),
+            offset: magic.len() as u64,
+        })
+    }
+
+    /// Appends one record; returns its `(offset, payload_len)` address.
+    pub fn append(&mut self, key: u64, payload: &[u8]) -> Result<(u64, u64), Error> {
+        let offset = self.offset;
+        let len = u32::try_from(payload.len())
+            .map_err(|_| Error::Corrupt("record payload exceeds u32 bytes"))?;
+        self.file
+            .write_all(&key.to_le_bytes())
+            .and_then(|()| self.file.write_all(&len.to_le_bytes()))
+            .and_then(|()| self.file.write_all(payload))
+            .map_err(io_err("write", &self.path))?;
+        self.offset += 8 + 4 + u64::from(len);
+        Ok((offset, u64::from(len)))
+    }
+
+    /// Flushes and returns the total file size in bytes.
+    pub fn finish(mut self) -> Result<u64, Error> {
+        self.file.flush().map_err(io_err("flush", &self.path))?;
+        Ok(self.offset)
+    }
+}
+
+/// Verifies the magic prefix of the segment file at `path`.
+pub fn check_magic(path: &Path, magic: &[u8; 8]) -> Result<(), Error> {
+    let mut file = File::open(path).map_err(io_err("open", path))?;
+    let mut have = [0u8; 8];
+    file.read_exact(&mut have).map_err(io_err("read", path))?;
+    if have != *magic {
+        return Err(Error::Format {
+            path: path.to_path_buf(),
+            detail: format!("bad magic {have:02x?}"),
+        });
+    }
+    Ok(())
+}
+
+/// Reads the record at `(offset, len)` in `path`, verifying its embedded
+/// content key matches `expected_key`.
+pub fn read_record(path: &Path, offset: u64, len: u64, expected_key: u64) -> Result<Vec<u8>, Error> {
+    let mut file = File::open(path).map_err(io_err("open", path))?;
+    file.seek(SeekFrom::Start(offset)).map_err(io_err("seek", path))?;
+    let mut header = [0u8; 12];
+    file.read_exact(&mut header).map_err(io_err("read", path))?;
+    let key = u64::from_le_bytes(header[..8].try_into().expect("8-byte slice"));
+    let stored_len = u32::from_le_bytes(header[8..].try_into().expect("4-byte slice"));
+    if key != expected_key {
+        return Err(Error::Format {
+            path: path.to_path_buf(),
+            detail: format!("key mismatch at offset {offset}: expected {expected_key:#x}, found {key:#x}"),
+        });
+    }
+    if u64::from(stored_len) != len {
+        return Err(Error::Format {
+            path: path.to_path_buf(),
+            detail: format!("length mismatch at offset {offset}: manifest says {len}, record says {stored_len}"),
+        });
+    }
+    let mut payload = vec![0u8; stored_len as usize];
+    file.read_exact(&mut payload).map_err(io_err("read", path))?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sb-store-seg-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn records_round_trip_by_address() {
+        let dir = tmpdir("rt");
+        let path = dir.join("seg-0.bin");
+        let mut w = SegmentWriter::create(&path, PROFILE_MAGIC).expect("create");
+        let (o1, l1) = w.append(0xAAAA, b"first payload").expect("append");
+        let (o2, l2) = w.append(0xBBBB, b"second").expect("append");
+        let total = w.finish().expect("finish");
+        assert_eq!(total, std::fs::metadata(&path).expect("meta").len());
+        check_magic(&path, PROFILE_MAGIC).expect("magic");
+        assert_eq!(read_record(&path, o1, l1, 0xAAAA).expect("r1"), b"first payload");
+        assert_eq!(read_record(&path, o2, l2, 0xBBBB).expect("r2"), b"second");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_key_or_magic_is_rejected() {
+        let dir = tmpdir("bad");
+        let path = dir.join("seg-0.bin");
+        let mut w = SegmentWriter::create(&path, PROFILE_MAGIC).expect("create");
+        let (o, l) = w.append(7, b"payload").expect("append");
+        w.finish().expect("finish");
+        assert!(matches!(read_record(&path, o, l, 8), Err(Error::Format { .. })));
+        assert!(matches!(read_record(&path, o, l + 1, 7), Err(Error::Format { .. })));
+        assert!(check_magic(&path, PMC_MAGIC).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

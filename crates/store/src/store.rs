@@ -1,0 +1,443 @@
+//! The store: a directory of segment files plus a manifest.
+//!
+//! Content addressing: a profile's key is the FNV-1a hash of the boot
+//! config, fuzz seed, and program text. `Site` ids are themselves FNV
+//! hashes of instruction names, so profiles and PMC sets persisted by one
+//! process match those of any other — nothing in a record depends on
+//! process-local interning state.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use sb_kernel::{KernelConfig, Program};
+use snowboard::pmc::PmcSet;
+use snowboard::profile::SeqProfile;
+
+use crate::codec;
+use crate::manifest::{Manifest, PmcEntry, ProfileStatus};
+use crate::segment::{self, SegmentWriter, PMC_MAGIC, PROFILE_MAGIC};
+use crate::Error;
+
+/// FNV-1a over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Content key of one sequential test: hash of (boot config, fuzz seed,
+/// program). Debug renderings are derived and contain no addresses or other
+/// process-local state, so keys are stable across processes and runs.
+pub fn profile_key(config: &KernelConfig, seed: u64, prog: &Program) -> u64 {
+    fnv1a(format!("{config:?}|{seed}|{prog:?}").as_bytes())
+}
+
+/// Content key of a whole corpus: hash chain over its profile keys, used as
+/// the embedded record key of persisted PMC sets.
+pub fn corpus_key(keys: &[u64]) -> u64 {
+    let mut bytes = Vec::with_capacity(keys.len() * 8);
+    for k in keys {
+        bytes.extend_from_slice(&k.to_le_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+/// Result of a profile lookup.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProfileLookup {
+    /// Served from the store, test id remapped to the current corpus index.
+    Hit(SeqProfile),
+    /// The store remembers this test failing sequentially — skip it.
+    FailedCached,
+    /// Not in the store (or reads disabled); profile it.
+    Miss,
+}
+
+/// Result of a PMC-set lookup against a corpus key list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PmcLookup {
+    /// A stored set identified from exactly this corpus; bit-identical to
+    /// what identification would rebuild.
+    Exact(PmcSet),
+    /// A stored set identified from a strict prefix of this corpus
+    /// (`prefix_len` corpus entries) — resume it and join only the rest.
+    Prefix(PmcSet, usize),
+    /// Nothing reusable stored.
+    Miss,
+}
+
+/// Size statistics of the on-disk store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Number of segment files (profile + PMC).
+    pub segments: u64,
+    /// Total bytes across segment files.
+    pub bytes: u64,
+}
+
+/// A persistent profile/PMC store rooted at one directory.
+pub struct Store {
+    root: PathBuf,
+    manifest: Manifest,
+    read_cache: bool,
+    /// Profile lookups served from the store this run.
+    pub profile_hits: u64,
+    /// Profile lookups that missed this run.
+    pub profile_misses: u64,
+    /// Of the hits, cached sequential failures.
+    pub failed_cached: u64,
+}
+
+impl Store {
+    /// Opens (or initializes) the store in `root`, creating the directory
+    /// if needed.
+    pub fn open(root: &Path) -> Result<Store, Error> {
+        std::fs::create_dir_all(root).map_err(|source| Error::Io {
+            op: "create-dir",
+            path: root.to_path_buf(),
+            source,
+        })?;
+        let manifest = Manifest::load(&root.join("manifest.json"))?;
+        Ok(Store {
+            root: root.to_path_buf(),
+            manifest,
+            read_cache: true,
+            profile_hits: 0,
+            profile_misses: 0,
+            failed_cached: 0,
+        })
+    }
+
+    /// Disables cache *reads* (`--no-cache`): every lookup misses, but fresh
+    /// results are still written back.
+    pub fn set_read_cache(&mut self, enabled: bool) {
+        self.read_cache = enabled;
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Profile cache hit rate persisted by the most recent completed run.
+    pub fn last_hit_rate(&self) -> Option<f64> {
+        let total = self.manifest.last_hits + self.manifest.last_misses;
+        (total > 0).then(|| self.manifest.last_hits as f64 / total as f64)
+    }
+
+    /// (hits, misses) persisted by the most recent completed run.
+    pub fn last_counters(&self) -> (u64, u64) {
+        (self.manifest.last_hits, self.manifest.last_misses)
+    }
+
+    fn segment_path(&self, n: u64) -> PathBuf {
+        self.root.join(format!("seg-{n:04}.bin"))
+    }
+
+    fn pmc_path(&self, n: u64) -> PathBuf {
+        self.root.join(format!("pmc-{n:04}.bin"))
+    }
+
+    /// Looks up the profile stored under `key`, remapping its test id to
+    /// `test` (the corpus index of the *current* run).
+    pub fn lookup_profile(&mut self, key: u64, test: u32) -> Result<ProfileLookup, Error> {
+        if !self.read_cache {
+            self.profile_misses += 1;
+            return Ok(ProfileLookup::Miss);
+        }
+        match self.manifest.profiles.get(&key) {
+            Some(ProfileStatus::Ok { segment, offset, len }) => {
+                let path = self.segment_path(*segment);
+                let payload = segment::read_record(&path, *offset, *len, key)?;
+                let mut profile = codec::decode_profile(&payload).map_err(|e| match e {
+                    Error::Truncated | Error::Corrupt(_) => Error::Format {
+                        path,
+                        detail: format!("profile record {key:#x}: {e}"),
+                    },
+                    other => other,
+                })?;
+                profile.test = test;
+                self.profile_hits += 1;
+                Ok(ProfileLookup::Hit(profile))
+            }
+            Some(ProfileStatus::Failed) => {
+                self.profile_hits += 1;
+                self.failed_cached += 1;
+                Ok(ProfileLookup::FailedCached)
+            }
+            None => {
+                self.profile_misses += 1;
+                Ok(ProfileLookup::Miss)
+            }
+        }
+    }
+
+    /// Persists one corpus chunk of freshly profiled tests (failures
+    /// included — they are cached as negative entries) into a new segment
+    /// file. No-op when `batch` is empty.
+    pub fn insert_profiles(&mut self, batch: &[(u64, Option<SeqProfile>)]) -> Result<(), Error> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let seg_no = self.manifest.next_segment;
+        let mut writer = SegmentWriter::create(&self.segment_path(seg_no), PROFILE_MAGIC)?;
+        let mut buf = Vec::new();
+        let mut new_entries = BTreeMap::new();
+        for (key, profile) in batch {
+            match profile {
+                Some(p) => {
+                    buf.clear();
+                    codec::encode_profile(p, &mut buf);
+                    let (offset, len) = writer.append(*key, &buf)?;
+                    new_entries.insert(*key, ProfileStatus::Ok { segment: seg_no, offset, len });
+                }
+                None => {
+                    new_entries.insert(*key, ProfileStatus::Failed);
+                }
+            }
+        }
+        writer.finish()?;
+        self.manifest.next_segment += 1;
+        self.manifest.profiles.extend(new_entries);
+        Ok(())
+    }
+
+    /// Finds the most recent stored PMC set reusable for `corpus_keys`:
+    /// exact corpus match first, else the longest strict-prefix match.
+    pub fn lookup_pmcs(&self, corpus_keys: &[u64]) -> Result<PmcLookup, Error> {
+        if !self.read_cache {
+            return Ok(PmcLookup::Miss);
+        }
+        let mut best: Option<&PmcEntry> = None;
+        for entry in self.manifest.pmcs.iter().rev() {
+            if entry.corpus == corpus_keys {
+                best = Some(entry);
+                break;
+            }
+            let better = best.map_or(0, |b| b.corpus.len());
+            if entry.corpus.len() > better
+                && entry.corpus.len() < corpus_keys.len()
+                && corpus_keys.starts_with(&entry.corpus)
+            {
+                best = Some(entry);
+            }
+        }
+        let Some(entry) = best else {
+            return Ok(PmcLookup::Miss);
+        };
+        let path = self.pmc_path(entry.segment);
+        let payload = segment::read_record(&path, entry.offset, entry.len, corpus_key(&entry.corpus))?;
+        let set = codec::decode_pmc_set(&payload).map_err(|e| match e {
+            Error::Truncated | Error::Corrupt(_) => Error::Format {
+                path,
+                detail: format!("PMC record: {e}"),
+            },
+            other => other,
+        })?;
+        if entry.corpus == corpus_keys {
+            Ok(PmcLookup::Exact(set))
+        } else {
+            Ok(PmcLookup::Prefix(set, entry.corpus.len()))
+        }
+    }
+
+    /// Persists `set` as the PMC universe of `corpus_keys`, replacing any
+    /// entry stored for the same corpus.
+    pub fn save_pmcs(&mut self, corpus_keys: &[u64], set: &PmcSet) -> Result<(), Error> {
+        let seg_no = self.manifest.next_segment;
+        let mut writer = SegmentWriter::create(&self.pmc_path(seg_no), PMC_MAGIC)?;
+        let mut buf = Vec::new();
+        codec::encode_pmc_set(set, &mut buf);
+        let (offset, len) = writer.append(corpus_key(corpus_keys), &buf)?;
+        writer.finish()?;
+        self.manifest.next_segment += 1;
+        self.manifest.pmcs.retain(|e| e.corpus != corpus_keys);
+        self.manifest.pmcs.push(PmcEntry {
+            corpus: corpus_keys.to_vec(),
+            segment: seg_no,
+            offset,
+            len,
+        });
+        Ok(())
+    }
+
+    /// Writes the manifest (with this run's hit/miss counters) atomically.
+    pub fn flush(&mut self) -> Result<(), Error> {
+        self.manifest.last_hits = self.profile_hits;
+        self.manifest.last_misses = self.profile_misses;
+        self.manifest.save(&self.root.join("manifest.json"))
+    }
+
+    /// Sizes of all segment files currently on disk, smallest number first.
+    /// Returns `(name, bytes)` pairs plus the aggregate.
+    pub fn segment_sizes(&self) -> Result<(Vec<(String, u64)>, SegmentStats), Error> {
+        let mut sizes = Vec::new();
+        let mut stats = SegmentStats::default();
+        for n in 0..self.manifest.next_segment {
+            for path in [self.segment_path(n), self.pmc_path(n)] {
+                match std::fs::metadata(&path) {
+                    Ok(meta) => {
+                        let name = path
+                            .file_name()
+                            .map(|n| n.to_string_lossy().into_owned())
+                            .unwrap_or_default();
+                        sizes.push((name, meta.len()));
+                        stats.segments += 1;
+                        stats.bytes += meta.len();
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(source) => {
+                        return Err(Error::Io {
+                            op: "stat",
+                            path,
+                            source,
+                        })
+                    }
+                }
+            }
+        }
+        Ok((sizes, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_kernel::prog::Syscall;
+    use sb_vmm::access::{Access, AccessKind};
+    use sb_vmm::site::Site;
+
+    fn tmp_store(tag: &str) -> (PathBuf, Store) {
+        let dir = std::env::temp_dir().join(format!("sb-store-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Store::open(&dir).expect("open");
+        (dir, store)
+    }
+
+    fn profile(test: u32, addr: u64) -> SeqProfile {
+        SeqProfile {
+            test,
+            steps: 10,
+            accesses: vec![Access {
+                seq: 0,
+                thread: 0,
+                site: Site::intern("store:test"),
+                kind: AccessKind::Write,
+                addr,
+                len: 8,
+                value: 1,
+                atomic: false,
+                locks: vec![],
+                rcu_depth: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn profile_keys_depend_on_all_inputs() {
+        let config = KernelConfig::v5_12_rc3();
+        let p1 = Program::new(vec![Syscall::Msgget { key: 1 }]);
+        let p2 = Program::new(vec![Syscall::Msgget { key: 2 }]);
+        let k = profile_key(&config, 1, &p1);
+        assert_eq!(k, profile_key(&config, 1, &p1.clone()));
+        assert_ne!(k, profile_key(&config, 2, &p1));
+        assert_ne!(k, profile_key(&config, 1, &p2));
+        assert_ne!(k, profile_key(&KernelConfig::v5_3_10(), 1, &p1));
+    }
+
+    #[test]
+    fn profiles_round_trip_with_test_remap_and_counters() {
+        let (dir, mut store) = tmp_store("prof");
+        let p = profile(3, 0x2000);
+        store
+            .insert_profiles(&[(111, Some(p.clone())), (222, None)])
+            .expect("insert");
+        store.flush().expect("flush");
+
+        let mut store = Store::open(&dir).expect("reopen");
+        match store.lookup_profile(111, 9).expect("lookup") {
+            ProfileLookup::Hit(got) => {
+                assert_eq!(got.test, 9, "test id remapped to current corpus index");
+                assert_eq!(got.accesses, p.accesses);
+                assert_eq!(got.steps, p.steps);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(
+            store.lookup_profile(222, 1).expect("lookup"),
+            ProfileLookup::FailedCached
+        );
+        assert_eq!(store.lookup_profile(333, 2).expect("lookup"), ProfileLookup::Miss);
+        assert_eq!((store.profile_hits, store.profile_misses), (2, 1));
+        assert_eq!(store.failed_cached, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn no_cache_forces_misses_but_still_writes() {
+        let (dir, mut store) = tmp_store("nocache");
+        store.insert_profiles(&[(5, Some(profile(0, 0x3000)))]).expect("insert");
+        store.set_read_cache(false);
+        assert_eq!(store.lookup_profile(5, 0).expect("lookup"), ProfileLookup::Miss);
+        assert_eq!(store.lookup_pmcs(&[5]).expect("lookup"), PmcLookup::Miss);
+        assert_eq!(store.profile_misses, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pmc_lookup_prefers_exact_over_prefix() {
+        let (dir, mut store) = tmp_store("pmc");
+        let small = PmcSet::default();
+        let mut large = PmcSet::default();
+        large.pmcs.push(sample_pmc());
+        store.save_pmcs(&[1, 2], &small).expect("save small");
+        store.save_pmcs(&[1, 2, 3], &large).expect("save large");
+        assert_eq!(store.lookup_pmcs(&[1, 2, 3]).expect("exact"), PmcLookup::Exact(large.clone()));
+        assert_eq!(
+            store.lookup_pmcs(&[1, 2, 3, 4]).expect("prefix"),
+            PmcLookup::Prefix(large.clone(), 3)
+        );
+        assert_eq!(store.lookup_pmcs(&[1, 2]).expect("exact small"), PmcLookup::Exact(small));
+        assert_eq!(store.lookup_pmcs(&[9, 9]).expect("miss"), PmcLookup::Miss);
+        // Replacing the same corpus keeps one entry.
+        store.save_pmcs(&[1, 2, 3], &large).expect("replace");
+        assert_eq!(store.lookup_pmcs(&[1, 2, 3]).expect("exact"), PmcLookup::Exact(large));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn sample_pmc() -> snowboard::pmc::Pmc {
+        use snowboard::pmc::{PmcKey, SideKey};
+        let side = |name: &str| SideKey {
+            ins: Site::intern(name),
+            addr: 0x1000,
+            len: 8,
+            value: 7,
+        };
+        snowboard::pmc::Pmc {
+            key: PmcKey { w: side("w"), r: side("r") },
+            df_leader: false,
+            pairs: vec![(0, 1)],
+        }
+    }
+
+    #[test]
+    fn segment_sizes_and_persisted_counters() {
+        let (dir, mut store) = tmp_store("sizes");
+        store.insert_profiles(&[(1, Some(profile(0, 0x2000)))]).expect("insert");
+        store.save_pmcs(&[1], &PmcSet::default()).expect("save");
+        let _ = store.lookup_profile(1, 0).expect("hit");
+        let _ = store.lookup_profile(2, 1).expect("miss");
+        store.flush().expect("flush");
+        let (sizes, stats) = store.segment_sizes().expect("sizes");
+        assert_eq!(stats.segments, 2);
+        assert_eq!(sizes.len(), 2);
+        assert!(stats.bytes > 16, "magic plus records");
+        let reopened = Store::open(&dir).expect("reopen");
+        assert_eq!(reopened.last_counters(), (1, 1));
+        assert_eq!(reopened.last_hit_rate(), Some(0.5));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

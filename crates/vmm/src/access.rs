@@ -26,7 +26,10 @@ impl AccessKind {
 }
 
 /// One observed memory access by a simulated kernel thread.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// Every field is integral (no floats), so profiles containing accesses
+/// round-trip u64-exactly through any of the store codecs.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Access {
     /// Global sequence number within one execution (trace index).
     pub seq: u64,

@@ -1,0 +1,173 @@
+//! Cold/warm store runs: a warm run against the same store directory must
+//! skip all profiling (100% hit rate), load the identical PMC set, and
+//! produce identical campaign aggregates; corpus growth reuses the stored
+//! set incrementally.
+
+use std::path::PathBuf;
+
+use sb_kernel::KernelConfig;
+use sb_store::Store;
+use snowboard::cluster::Strategy;
+use snowboard::pmc::{identify, IdentifyOpts, PmcKey, PmcSet};
+use snowboard::select::ClusterOrder;
+use snowboard::{CampaignCfg, CampaignReport, Pipeline, PipelineCfg};
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sb-store-it-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn small_cfg(corpus_target: usize) -> PipelineCfg {
+    PipelineCfg {
+        seed: 7,
+        corpus_target,
+        fuzz_budget: 600,
+        workers: 2,
+    }
+}
+
+fn run_campaign(p: &Pipeline) -> CampaignReport {
+    let exemplars = p.exemplars(Strategy::SInsPair, ClusterOrder::UncommonFirst);
+    let cfg = CampaignCfg {
+        seed: 11,
+        trials_per_pmc: 8,
+        max_tested_pmcs: 60,
+        workers: 1,
+        stop_on_finding: true,
+        incidental: true,
+        ..CampaignCfg::default()
+    };
+    p.campaign(&exemplars, &cfg).expect("campaign")
+}
+
+#[test]
+fn warm_run_skips_all_profiling_and_matches_cold_run() {
+    let dir = store_dir("warm");
+    let opts = IdentifyOpts::sharded(4, 2);
+
+    let mut cold_store = Store::open(&dir).expect("open cold");
+    let (cold, cold_stats) =
+        sb_store::prepare(KernelConfig::v5_12_rc3(), &small_cfg(24), &opts, &mut cold_store)
+            .expect("cold prepare");
+    assert_eq!(cold_stats.profile_hits, 0, "cold run cannot hit");
+    assert_eq!(cold_stats.profile_misses as usize, cold.corpus.len());
+    assert!(!cold_stats.pmc_cache_hit && !cold_stats.pmc_incremental);
+    assert!(cold_stats.stored_bytes > 0 && cold_stats.segments > 0);
+
+    let mut warm_store = Store::open(&dir).expect("open warm");
+    let (warm, warm_stats) =
+        sb_store::prepare(KernelConfig::v5_12_rc3(), &small_cfg(24), &opts, &mut warm_store)
+            .expect("warm prepare");
+
+    // 100% profile hit rate: every lookup served from the store.
+    assert_eq!(warm_stats.profile_misses, 0, "warm run re-profiled something");
+    // Failed profiles count as hits too (negative caching), so hits alone
+    // must cover the whole corpus.
+    assert_eq!(
+        warm_stats.profile_hits,
+        warm.corpus.len() as u64,
+        "every corpus entry must be served from the store"
+    );
+    assert!((warm_stats.hit_rate() - 1.0).abs() < f64::EPSILON);
+    assert!(warm_stats.pmc_cache_hit, "exact corpus match must reuse the stored set");
+
+    // Bit-identical pipeline outputs...
+    assert_eq!(cold.corpus, warm.corpus);
+    assert_eq!(cold.profiles, warm.profiles);
+    assert_eq!(cold.pmcs, warm.pmcs, "stored PMC set must be bit-identical");
+
+    // ...and identical campaign aggregates.
+    let (a, b) = (run_campaign(&cold), run_campaign(&warm));
+    assert_eq!(a.tested(), b.tested());
+    assert_eq!(a.executions, b.executions);
+    assert_eq!(a.bug_ids(), b.bug_ids());
+    assert_eq!(a.issues.len(), b.issues.len());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corpus_growth_reuses_the_stored_prefix_incrementally() {
+    let dir = store_dir("grow");
+    let opts = IdentifyOpts::sharded(3, 2);
+
+    let mut first = Store::open(&dir).expect("open");
+    let (small, _) =
+        sb_store::prepare(KernelConfig::v5_12_rc3(), &small_cfg(16), &opts, &mut first)
+            .expect("small prepare");
+
+    // Same seed + budget with a larger target: the kept corpus grows by
+    // appending, so the stored keys are a strict prefix of the new ones.
+    let mut second = Store::open(&dir).expect("reopen");
+    let (grown, stats) =
+        sb_store::prepare(KernelConfig::v5_12_rc3(), &small_cfg(24), &opts, &mut second)
+            .expect("grown prepare");
+    assert!(grown.corpus.len() > small.corpus.len(), "corpus did not grow");
+    assert_eq!(&grown.corpus[..small.corpus.len()], &small.corpus[..]);
+    assert!(stats.pmc_incremental, "prefix match must take the incremental path");
+    assert!(!stats.pmc_cache_hit);
+    assert!(
+        stats.profile_hits >= small.corpus.len() as u64,
+        "prefix profiles must be served from the store"
+    );
+
+    // The incrementally grown set covers the same universe as a rebuild.
+    assert_eq!(
+        canonical(&grown.pmcs),
+        canonical(&identify(&grown.profiles)),
+        "incremental set diverged from full rebuild"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn no_cache_forces_reprofiling_but_keeps_outputs_equal() {
+    let dir = store_dir("nocache");
+    let opts = IdentifyOpts::sharded(2, 2);
+
+    let mut cold_store = Store::open(&dir).expect("open");
+    let (cold, _) =
+        sb_store::prepare(KernelConfig::v5_12_rc3(), &small_cfg(16), &opts, &mut cold_store)
+            .expect("cold prepare");
+
+    let mut bypass = Store::open(&dir).expect("reopen");
+    bypass.set_read_cache(false);
+    let (fresh, stats) =
+        sb_store::prepare(KernelConfig::v5_12_rc3(), &small_cfg(16), &opts, &mut bypass)
+            .expect("bypass prepare");
+    assert_eq!(stats.profile_hits, 0, "--no-cache must not serve cached profiles");
+    assert_eq!(stats.profile_misses as usize, fresh.corpus.len());
+    assert_eq!(cold.profiles, fresh.profiles, "re-profiling must be deterministic");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Pairs retained per PMC are capped (join order decides which survive), so
+/// equivalence holds only up to the cap. Mirrors `MAX_PAIRS_PER_PMC`.
+const PAIR_CAP: usize = 32;
+
+/// One PMC reduced for comparison: key, df flag, pair count, pair list.
+type CanonicalPmc = (PmcKey, bool, usize, Vec<(u32, u32)>);
+
+/// Order-independent view of a PMC set: sorted keys with sorted pair lists;
+/// capped pair lists are compared by size only.
+fn canonical(set: &PmcSet) -> Vec<CanonicalPmc> {
+    let mut v: Vec<_> = set
+        .pmcs
+        .iter()
+        .map(|p| {
+            let mut pairs = p.pairs.clone();
+            pairs.sort_unstable();
+            if pairs.len() >= PAIR_CAP {
+                pairs.clear();
+            }
+            (p.key, p.df_leader, p.pairs.len(), pairs)
+        })
+        .collect();
+    v.sort_unstable_by_key(|(k, _, _, _)| {
+        (k.w.ins.0, k.w.addr, k.w.len, k.w.value, k.r.ins.0, k.r.addr, k.r.len, k.r.value)
+    });
+    v
+}
