@@ -78,6 +78,7 @@ fn bench_store(c: &mut Criterion) {
         corpus_target: 12,
         fuzz_budget: 180,
         workers: 2,
+        ..PipelineCfg::default()
     };
     let opts = IdentifyOpts::sharded(4, 2);
 

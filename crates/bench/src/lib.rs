@@ -62,6 +62,7 @@ impl Scale {
             corpus_target: self.corpus_target,
             fuzz_budget: self.fuzz_budget,
             workers: self.workers,
+            ..PipelineCfg::default()
         }
     }
 

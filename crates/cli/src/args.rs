@@ -18,6 +18,7 @@ COMMANDS:
     list-bugs     print the ground-truth issue registry (Table 2)
     repro         reproduce one known bug with its PMC-hinted schedule
     store stats   print profile/PMC store hit rate and segment sizes
+    trace report  reconstruct stage timings and the funnel from a trace dir
     help          show this message
 
 OPTIONS (hunt):
@@ -38,10 +39,12 @@ OPTIONS (hunt):
     --resume <PATH>               resume from a checkpoint written by --checkpoint
     --store <DIR>                 persist/reuse profiles and PMCs in DIR
     --no-cache                    with --store: write results but serve no reads
+    --trace-dir <DIR>             write structured JSONL trace events to DIR
 
-OPTIONS (strategies):  --version, --patched, --seed, --corpus
-OPTIONS (repro):       --bug <1|2|3|4|11|12> (console-detectable bugs)
-OPTIONS (store stats): --store <DIR> (required)
+OPTIONS (strategies):   --version, --patched, --seed, --corpus
+OPTIONS (repro):        --bug <1|2|3|4|11|12> (console-detectable bugs)
+OPTIONS (store stats):  --store <DIR> (required)
+OPTIONS (trace report): --trace-dir <DIR> (required)
 ";
 
 /// Options for the `hunt` command.
@@ -75,6 +78,9 @@ pub struct HuntOpts {
     pub store: Option<PathBuf>,
     /// With a store: disable cache reads (results are still written back).
     pub no_cache: bool,
+    /// Directory to write structured JSONL trace events to; `None` disables
+    /// tracing entirely (the near-no-op path).
+    pub trace_dir: Option<PathBuf>,
 }
 
 /// Parsed command.
@@ -102,6 +108,11 @@ pub enum Cmd {
     StoreStats {
         /// Store directory.
         store: PathBuf,
+    },
+    /// Trace inspection: stage timings, funnel attrition, verification.
+    TraceReport {
+        /// Directory previously passed to `hunt --trace-dir`.
+        trace_dir: PathBuf,
     },
     /// Usage text.
     Help,
@@ -190,6 +201,27 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
             let store = store.ok_or("store stats requires --store <dir>")?;
             Ok(Cmd::StoreStats { store })
         }
+        "trace" => {
+            let Some(sub) = argv.get(1) else {
+                return Err("trace requires a subcommand (report)".into());
+            };
+            if sub != "report" {
+                return Err(format!("unknown trace subcommand '{sub}'"));
+            }
+            let mut trace_dir: Option<PathBuf> = None;
+            let mut i = 2;
+            while i < argv.len() {
+                match argv[i].as_str() {
+                    "--trace-dir" => {
+                        trace_dir = Some(PathBuf::from(take_value(argv, &mut i, "--trace-dir")?))
+                    }
+                    other => return Err(format!("unknown option '{other}'")),
+                }
+                i += 1;
+            }
+            let trace_dir = trace_dir.ok_or("trace report requires --trace-dir <dir>")?;
+            Ok(Cmd::TraceReport { trace_dir })
+        }
         "strategies" | "hunt" => {
             let is_hunt = cmd == "hunt";
             let mut version = KernelVersion::V5_12Rc3;
@@ -207,6 +239,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
             let mut resume: Option<PathBuf> = None;
             let mut store: Option<PathBuf> = None;
             let mut no_cache = false;
+            let mut trace_dir: Option<PathBuf> = None;
             let mut i = 1;
             while i < argv.len() {
                 match argv[i].as_str() {
@@ -247,6 +280,9 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                         store = Some(PathBuf::from(take_value(argv, &mut i, "--store")?))
                     }
                     "--no-cache" if is_hunt => no_cache = true,
+                    "--trace-dir" if is_hunt => {
+                        trace_dir = Some(PathBuf::from(take_value(argv, &mut i, "--trace-dir")?))
+                    }
                     other => return Err(format!("unknown option '{other}'")),
                 }
                 i += 1;
@@ -277,6 +313,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                     resume,
                     store,
                     no_cache,
+                    trace_dir,
                 }))
             } else {
                 Ok(Cmd::Strategies { config, seed, corpus })
@@ -361,6 +398,29 @@ mod tests {
         assert!(parse(&argv("store frobnicate")).is_err());
         assert!(parse(&argv("store stats")).is_err());
         assert!(parse(&argv("strategies --store /x")).is_err(), "hunt-only flag");
+    }
+
+    #[test]
+    fn parses_trace_flags_and_subcommand() {
+        let cmd = parse(&argv("hunt --trace-dir /tmp/sbtrace")).unwrap();
+        match cmd {
+            Cmd::Hunt(o) => assert_eq!(o.trace_dir, Some(PathBuf::from("/tmp/sbtrace"))),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Disabled by default.
+        match parse(&argv("hunt")).unwrap() {
+            Cmd::Hunt(o) => assert_eq!(o.trace_dir, None),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse(&argv("trace report --trace-dir /tmp/sbtrace")).unwrap(),
+            Cmd::TraceReport { trace_dir: PathBuf::from("/tmp/sbtrace") }
+        );
+        assert!(parse(&argv("trace")).is_err());
+        assert!(parse(&argv("trace frobnicate")).is_err());
+        assert!(parse(&argv("trace report")).is_err(), "--trace-dir is required");
+        assert!(parse(&argv("hunt --trace-dir")).is_err(), "flag needs a value");
+        assert!(parse(&argv("strategies --trace-dir /x")).is_err(), "hunt-only flag");
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub fn run(cmd: Cmd) -> ExitCode {
         Cmd::Strategies { config, seed, corpus } => strategies(config, seed, corpus),
         Cmd::Repro { bug } => repro(bug),
         Cmd::StoreStats { store } => store_stats(&store),
+        Cmd::TraceReport { trace_dir } => trace_report(&trace_dir),
         Cmd::Hunt(opts) => hunt(opts),
     }
 }
@@ -51,14 +52,13 @@ fn store_stats(dir: &std::path::Path) -> ExitCode {
         }
     };
     let (hits, misses) = store.last_counters();
-    match store.last_hit_rate() {
-        Some(rate) => println!(
-            "last run: profile-hit-rate {:.1}% ({hits}/{})",
-            100.0 * rate,
-            hits + misses
-        ),
-        None => println!("last run: no profile lookups recorded"),
-    }
+    // A run with zero lookups has a 0.0% hit rate, not a vacuous 100%.
+    let rate = store.last_hit_rate().unwrap_or(0.0);
+    println!(
+        "last run: profile-hit-rate {:.1}% ({hits}/{})",
+        100.0 * rate,
+        hits + misses
+    );
     let (sizes, stats) = match store.segment_sizes() {
         Ok(r) => r,
         Err(e) => {
@@ -71,6 +71,24 @@ fn store_stats(dir: &std::path::Path) -> ExitCode {
         println!("  {name:<14} {bytes:>12} B");
     }
     ExitCode::SUCCESS
+}
+
+fn trace_report(dir: &std::path::Path) -> ExitCode {
+    let path = dir.join("trace.jsonl");
+    let report = match sb_obs::TraceReport::from_file(&path) {
+        Ok(r) => r,
+        Err(e) => {
+            // `from_file` errors already name the path.
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+    if report.verify().is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn print_hunt_store_stats(s: &StoreStats) {
@@ -122,6 +140,7 @@ fn strategies(config: KernelConfig, seed: u64, corpus: usize) -> ExitCode {
             corpus_target: corpus,
             fuzz_budget: (corpus as u64) * 15,
             workers: 4,
+            ..PipelineCfg::default()
         },
     );
     println!(
@@ -153,13 +172,31 @@ fn hunt(opts: HuntOpts) -> ExitCode {
         resume,
         store,
         no_cache,
+        trace_dir,
     } = opts;
+    let tracer = match &trace_dir {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: creating trace dir {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            match sb_obs::Tracer::jsonl(&dir.join("trace.jsonl")) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: opening trace sink in {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => sb_obs::Tracer::disabled(),
+    };
     eprintln!("[hunt] preparing pipeline ({:?})...", config.version);
     let pipeline_cfg = PipelineCfg {
         seed,
         corpus_target: corpus,
         fuzz_budget: (corpus as u64) * 15,
         workers,
+        tracer: tracer.clone(),
     };
     let (p, store_stats) = match &store {
         Some(dir) => {
@@ -190,11 +227,11 @@ fn hunt(opts: HuntOpts) -> ExitCode {
         }
         None => (Pipeline::prepare(config, pipeline_cfg), None),
     };
+    let clusters = p.cluster_count(strategy);
     eprintln!(
-        "[hunt] {} tests, {} PMCs, {} {} clusters",
+        "[hunt] {} tests, {} PMCs, {clusters} {} clusters",
         p.corpus.len(),
         p.pmcs.len(),
-        p.cluster_count(strategy),
         strategy
     );
     let order = if random_order {
@@ -202,7 +239,7 @@ fn hunt(opts: HuntOpts) -> ExitCode {
     } else {
         ClusterOrder::UncommonFirst
     };
-    let exemplars = p.exemplars(strategy, order);
+    let exemplars = p.exemplars_traced(strategy, order, &tracer);
     let report = p.campaign(
         &exemplars,
         &CampaignCfg {
@@ -224,6 +261,7 @@ fn hunt(opts: HuntOpts) -> ExitCode {
             checkpoint: checkpoint.map(CheckpointCfg::new),
             resume_from: resume,
             fault_plan: Default::default(),
+            tracer: tracer.clone(),
         },
     );
     let mut report = match report {
@@ -238,6 +276,28 @@ fn hunt(opts: HuntOpts) -> ExitCode {
         }
     };
     report.store = store_stats;
+    // Authoritative run totals, emitted last: `trace report` verifies its
+    // event-level reconstruction against this record.
+    tracer.emit(&sb_obs::Event::Summary {
+        t: tracer.now_us(),
+        profiles: p.profiles.len() as u64,
+        shared_accesses: p.stats.shared_accesses as u64,
+        pmcs: p.pmcs.len() as u64,
+        clusters: clusters as u64,
+        jobs: report.tested() as u64,
+        trials: report.executions,
+        steps: report.total_steps,
+        findings: report.issues.len() as u64,
+        quarantined: report.quarantined.len() as u64,
+    });
+    tracer.flush();
+    if let Some(dir) = &trace_dir {
+        eprintln!(
+            "[trace] events written to {}; inspect with `snowboard-cli trace report --trace-dir {}`",
+            dir.join("trace.jsonl").display(),
+            dir.display()
+        );
+    }
     println!(
         "tested {} PMCs in {} executions; {:.1}% exercised their predicted channel",
         report.tested(),

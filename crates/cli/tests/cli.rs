@@ -1,0 +1,97 @@
+//! End-to-end CLI tests driving the built `snowboard-cli` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_snowboard-cli"))
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sb-cli-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn store_stats_prints_zero_hit_rate_for_zero_lookups() {
+    // A freshly created store has recorded no profile lookups; the hit rate
+    // must print as 0.0%, not as a vacuous 100% or a special-cased message.
+    let dir = scratch_dir("fresh-store");
+    let out = bin()
+        .args(["store", "stats", "--store"])
+        .arg(&dir)
+        .output()
+        .expect("run store stats");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(
+        text.contains("profile-hit-rate 0.0% (0/0)"),
+        "expected explicit 0.0% for 0/0, got:\n{text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_report_fails_without_a_trace() {
+    let dir = scratch_dir("no-trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = bin()
+        .args(["trace", "report", "--trace-dir"])
+        .arg(&dir)
+        .output()
+        .expect("run trace report");
+    assert!(!out.status.success(), "missing trace must be an error");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hunt_trace_round_trips_through_trace_report() {
+    let dir = scratch_dir("hunt-trace");
+    let hunt = bin()
+        .args([
+            "hunt", "--corpus", "12", "--budget", "10", "--trials", "2", "--workers", "2",
+            "--seed", "3", "--trace-dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("run hunt");
+    assert!(
+        hunt.status.success(),
+        "hunt failed: {}",
+        String::from_utf8_lossy(&hunt.stderr)
+    );
+
+    // Every emitted line must schema-parse as a trace event.
+    let raw = std::fs::read_to_string(dir.join("trace.jsonl")).expect("trace written");
+    let mut kinds = std::collections::BTreeSet::new();
+    for (n, line) in raw.lines().enumerate() {
+        let ev = sb_obs::Event::parse_line(line)
+            .unwrap_or_else(|e| panic!("line {}: {e}: {line}", n + 1));
+        kinds.insert(ev.kind());
+    }
+    for expected in ["span_start", "span_end", "count", "job", "summary"] {
+        assert!(kinds.contains(expected), "no {expected} event in trace; kinds: {kinds:?}");
+    }
+
+    // The reconstruction must agree with the run's own summary record,
+    // which `hunt` emitted from its authoritative CampaignReport.
+    let report = bin()
+        .args(["trace", "report", "--trace-dir"])
+        .arg(&dir)
+        .output()
+        .expect("run trace report");
+    let text = stdout(&report);
+    assert!(
+        report.status.success(),
+        "trace report exited nonzero:\n{text}\n{}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    assert!(text.contains("verification: OK"), "unexpected report:\n{text}");
+    assert!(text.contains("funnel:"), "missing funnel section:\n{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}

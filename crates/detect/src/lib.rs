@@ -71,6 +71,17 @@ impl Finding {
             Finding::Livelock => "livelock".to_owned(),
         }
     }
+
+    /// Stable short tag for the finding's kind (metrics labels).
+    pub fn kind_tag(&self) -> &'static str {
+        match self {
+            Finding::KernelPanic { .. } => "panic",
+            Finding::ConsoleError { .. } => "console",
+            Finding::DataRace { .. } => "race",
+            Finding::Deadlock => "deadlock",
+            Finding::Livelock => "livelock",
+        }
+    }
 }
 
 /// Removes hex/decimal payloads from a console line so lines differing only
@@ -109,6 +120,14 @@ pub fn analyze(report: &ExecReport) -> Vec<Finding> {
             addr: race.addr,
         });
     }
+    findings
+}
+
+/// [`analyze`], counting raw (pre-dedup) detector hits as `detect.findings`
+/// on `tracer`.
+pub fn analyze_traced(report: &ExecReport, tracer: &sb_obs::Tracer) -> Vec<Finding> {
+    let findings = analyze(report);
+    tracer.count(sb_obs::keys::FINDINGS, findings.len() as u64);
     findings
 }
 

@@ -1,12 +1,13 @@
-//! A minimal JSON value, writer, and parser for checkpoint files.
+//! A minimal JSON value, writer, and parser.
 //!
-//! Checkpoints must survive a process kill and be readable by humans
-//! mid-campaign, which makes JSON the right container — but the workspace
-//! deliberately avoids pulling in `serde_json`, so this module implements
-//! the small subset the checkpoint format needs: objects, arrays, strings,
-//! booleans, null, and *unsigned integers only*. Every number a checkpoint
-//! stores (seeds, step counts, trial counts, ids) is an unsigned integer,
-//! and keeping them out of `f64` preserves full 64-bit seed precision.
+//! Campaign checkpoints, store manifests, and trace event files must
+//! survive a process kill and be readable by humans mid-campaign, which
+//! makes JSON the right container — but the workspace deliberately avoids
+//! pulling in `serde_json`, so this module implements the small subset
+//! those formats need: objects, arrays, strings, booleans, null, and
+//! *unsigned integers only*. Every number we persist (seeds, step counts,
+//! trial counts, ids, microsecond timestamps) is an unsigned integer, and
+//! keeping them out of `f64` preserves full 64-bit precision.
 
 use std::fmt::Write as _;
 
@@ -312,20 +313,37 @@ impl Parser<'_> {
     }
 }
 
-/// Atomically replaces the file at `path` with `text`: write `<path>.tmp`,
-/// then rename over `path`, so readers never observe a torn file. Shared by
-/// the campaign checkpoint and the profile-store manifest.
+/// Atomically and *durably* replaces the file at `path` with `text`: write
+/// `<path>.tmp`, fsync it, rename over `path`, then fsync the parent
+/// directory. Readers never observe a torn file, and a crash immediately
+/// after the call returns cannot resurrect the pre-rename content — without
+/// the directory fsync the rename itself may still live only in the page
+/// cache, so a resumed campaign could trust a checkpoint older than the one
+/// it was told was written. Shared by the campaign checkpoint and the
+/// profile-store manifest.
 ///
-/// On failure returns `(op, path, source)` where `op` is `"write"` or
-/// `"rename"` and `path` is the file the failing operation touched, so
-/// callers can map into their own error types.
+/// On failure returns `(op, path, source)` where `op` is `"write"`,
+/// `"fsync"`, `"rename"`, or `"fsync-dir"` and `path` is the file the
+/// failing operation touched, so callers can map into their own error
+/// types.
 pub fn atomic_write(
     path: &std::path::Path,
     text: &str,
 ) -> Result<(), (&'static str, std::path::PathBuf, std::io::Error)> {
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, text.as_bytes()).map_err(|source| ("write", tmp.clone(), source))?;
-    std::fs::rename(&tmp, path).map_err(|source| ("rename", path.to_path_buf(), source))
+    let f = std::fs::File::open(&tmp).map_err(|source| ("fsync", tmp.clone(), source))?;
+    f.sync_all().map_err(|source| ("fsync", tmp.clone(), source))?;
+    std::fs::rename(&tmp, path).map_err(|source| ("rename", path.to_path_buf(), source))?;
+    // Durability of the rename itself requires syncing the directory entry.
+    // A path with no parent (or an empty one, e.g. a bare file name) means
+    // the current directory.
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let d = std::fs::File::open(&dir).map_err(|source| ("fsync-dir", dir.clone(), source))?;
+    d.sync_all().map_err(|source| ("fsync-dir", dir, source))
 }
 
 #[cfg(test)]
@@ -379,5 +397,32 @@ mod tests {
     fn get_on_non_object_is_none() {
         assert_eq!(Json::U64(1).get("x"), None);
         assert_eq!(Json::Arr(vec![]).as_u64(), None);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tempfile() {
+        let dir = std::env::temp_dir().join(format!("sb-obs-aw-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        atomic_write(&path, "{\"v\":1}").unwrap();
+        atomic_write(&path, "{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "tempfile must not survive a successful write"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_reports_failing_operation() {
+        let dir = std::env::temp_dir().join(format!("sb-obs-awf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // The target is a directory: the rename must fail and be tagged.
+        let target = dir.join("occupied");
+        std::fs::create_dir_all(target.join("x")).unwrap();
+        let (op, _, _) = atomic_write(&target, "{}").unwrap_err();
+        assert_eq!(op, "rename");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

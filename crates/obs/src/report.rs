@@ -1,0 +1,388 @@
+//! Trace-file aggregation: per-stage wall clock and funnel attrition.
+//!
+//! [`TraceReport::from_lines`] schema-validates every line of a trace and
+//! folds it into counters, histogram summaries, per-span wall-clock totals,
+//! per-job totals, and the final summary event. [`TraceReport::verify`]
+//! cross-checks the reconstruction against that summary — the funnel
+//! counters and the job totals must agree *exactly* with what the run's
+//! `CampaignReport` claimed, which is what the CI trace-validation job
+//! enforces. [`TraceReport::render`] produces the human-readable output of
+//! `snowboard-cli trace report`.
+
+use std::collections::BTreeMap;
+
+use crate::event::Event;
+use crate::trace::keys;
+
+/// Summary of one histogram key's observations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+impl HistSummary {
+    fn observe(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+}
+
+/// Wall-clock totals for one span name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanSummary {
+    /// Spans opened under this name.
+    pub count: u64,
+    /// Spans closed (a live trace may have opens without closes).
+    pub closed: u64,
+    /// Total duration across closed spans, microseconds.
+    pub total_us: u64,
+}
+
+/// One job event's totals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSummary {
+    /// Campaign job index.
+    pub job: u64,
+    /// Trials executed.
+    pub trials: u64,
+    /// Engine steps consumed.
+    pub steps: u64,
+    /// Distinct findings.
+    pub findings: u64,
+    /// Attempts consumed.
+    pub attempts: u64,
+    /// Quarantined instead of completed.
+    pub quarantined: bool,
+}
+
+/// The funnel the trace reconstructs: counts surviving each pipeline stage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Funnel {
+    /// Sequential profiles (stage 1 output).
+    pub profiles: u64,
+    /// Shared accesses surviving the stack filter.
+    pub shared_accesses: u64,
+    /// PMCs identified (stage 2 output).
+    pub pmcs: u64,
+    /// Clusters induced by the strategy (stage 3).
+    pub clusters: u64,
+    /// Concurrent tests that completed (stage 4).
+    pub jobs: u64,
+    /// Trials executed.
+    pub trials: u64,
+}
+
+/// Everything reconstructed from one trace file.
+#[derive(Clone, Debug, Default)]
+pub struct TraceReport {
+    /// Total events parsed.
+    pub events: usize,
+    /// Final counter values, by key.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries, by key.
+    pub hists: BTreeMap<String, HistSummary>,
+    /// Per-span-name wall-clock totals.
+    pub spans: BTreeMap<String, SpanSummary>,
+    /// Per-job totals, in emission order.
+    pub jobs: Vec<JobSummary>,
+    /// The final summary event, if the run emitted one.
+    pub summary: Option<Event>,
+}
+
+impl TraceReport {
+    /// Parses and aggregates trace lines. Empty lines are skipped; any
+    /// malformed or schema-violating line fails the whole report with its
+    /// 1-based line number.
+    pub fn from_lines<'a>(lines: impl IntoIterator<Item = &'a str>) -> Result<Self, String> {
+        let mut r = TraceReport::default();
+        for (i, line) in lines.into_iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let ev = Event::parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            r.events += 1;
+            match ev {
+                Event::SpanStart { ref name, .. } => {
+                    r.spans.entry(name.clone()).or_default().count += 1;
+                }
+                Event::SpanEnd { ref name, dur, .. } => {
+                    let s = r.spans.entry(name.clone()).or_default();
+                    s.closed += 1;
+                    s.total_us += dur;
+                }
+                Event::Count { ref key, n, .. } => {
+                    *r.counters.entry(key.clone()).or_insert(0) += n;
+                }
+                Event::Hist { ref key, v, .. } => {
+                    r.hists.entry(key.clone()).or_default().observe(v);
+                }
+                Event::Job { job, trials, steps, findings, attempts, quarantined, .. } => {
+                    r.jobs.push(JobSummary { job, trials, steps, findings, attempts, quarantined });
+                }
+                Event::Summary { .. } => {
+                    if r.summary.is_some() {
+                        return Err(format!("line {}: duplicate summary event", i + 1));
+                    }
+                    r.summary = Some(ev);
+                }
+            }
+        }
+        Ok(r)
+    }
+
+    /// Reads and aggregates a trace file.
+    pub fn from_file(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Self::from_lines(text.lines())
+    }
+
+    /// Total for one counter key (0 when never incremented).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// The funnel reconstructed from fine-grained events (counters and job
+    /// events), independent of the summary event.
+    pub fn funnel(&self) -> Funnel {
+        Funnel {
+            profiles: self.counter(keys::PIPELINE_PROFILES),
+            shared_accesses: self.counter(keys::PIPELINE_SHARED_ACCESSES),
+            pmcs: self.counter(keys::PIPELINE_PMCS),
+            clusters: self.counter(keys::CLUSTERS),
+            jobs: self.jobs.iter().filter(|j| !j.quarantined).count() as u64,
+            trials: self.jobs.iter().map(|j| j.trials).sum(),
+        }
+    }
+
+    /// Cross-checks the reconstruction against the summary event. Returns
+    /// the list of mismatches (empty = consistent). Missing summary is
+    /// itself a mismatch: a complete trace always ends with one.
+    pub fn verify(&self) -> Vec<String> {
+        let Some(Event::Summary {
+            profiles,
+            shared_accesses,
+            pmcs,
+            clusters,
+            jobs,
+            trials,
+            steps,
+            quarantined,
+            ..
+        }) = self.summary
+        else {
+            return vec!["no summary event found (incomplete trace?)".to_owned()];
+        };
+        let f = self.funnel();
+        let job_steps: u64 = self.jobs.iter().map(|j| j.steps).sum();
+        let job_quarantined = self.jobs.iter().filter(|j| j.quarantined).count() as u64;
+        let mut mismatches = Vec::new();
+        let mut check = |what: &str, reconstructed: u64, summary: u64| {
+            if reconstructed != summary {
+                mismatches.push(format!(
+                    "{what}: events say {reconstructed}, summary says {summary}"
+                ));
+            }
+        };
+        check("profiles", f.profiles, profiles);
+        check("shared_accesses", f.shared_accesses, shared_accesses);
+        check("pmcs", f.pmcs, pmcs);
+        check("clusters", f.clusters, clusters);
+        check("jobs", f.jobs, jobs);
+        check("trials", f.trials, trials);
+        check("steps", job_steps, steps);
+        check("quarantined", job_quarantined, quarantined);
+        mismatches
+    }
+
+    /// Renders the human-readable report: per-stage wall clock, funnel
+    /// attrition, scheduler/store counters, and the verification verdict.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{} event(s)", self.events);
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "\nper-stage wall clock:");
+            for (name, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {name:<12} {:>10.3} ms across {} span(s)",
+                    s.total_us as f64 / 1000.0,
+                    s.closed
+                );
+            }
+        }
+        let f = self.funnel();
+        let _ = writeln!(out, "\nfunnel:");
+        let _ = writeln!(out, "  profiles        {:>10}", f.profiles);
+        let _ = writeln!(out, "  shared accesses {:>10}", f.shared_accesses);
+        let _ = writeln!(out, "  pmcs            {:>10}", f.pmcs);
+        let _ = writeln!(out, "  clusters        {:>10}", f.clusters);
+        let _ = writeln!(out, "  jobs            {:>10}", f.jobs);
+        let _ = writeln!(out, "  trials          {:>10}", f.trials);
+        let interesting = [
+            keys::SCHED_HINT_HITS,
+            keys::SCHED_VOLUNTARY,
+            keys::SCHED_FORCED,
+            keys::INCIDENTAL_PMCS,
+            keys::STORE_PROFILE_HITS,
+            keys::STORE_PROFILE_MISSES,
+            keys::WATCHDOG_FIRES,
+            keys::RETRIES,
+            keys::FINDINGS,
+        ];
+        let shown: Vec<(&str, u64)> = interesting
+            .iter()
+            .filter_map(|k| self.counters.get(*k).map(|v| (*k, *v)))
+            .collect();
+        if !shown.is_empty() {
+            let _ = writeln!(out, "\ncounters:");
+            for (k, v) in shown {
+                let _ = writeln!(out, "  {k:<28} {v:>10}");
+            }
+        }
+        for (k, h) in &self.hists {
+            let _ = writeln!(
+                out,
+                "\n{k}: n={} min={} mean={:.1} max={}",
+                h.count,
+                h.min,
+                if h.count == 0 { 0.0 } else { h.sum as f64 / h.count as f64 },
+                h.max
+            );
+        }
+        let mismatches = self.verify();
+        if mismatches.is_empty() {
+            let _ = writeln!(out, "\nverification: OK (events agree with the run summary)");
+        } else {
+            let _ = writeln!(out, "\nverification: FAILED");
+            for m in &mismatches {
+                let _ = writeln!(out, "  {m}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    fn traced_run() -> Vec<String> {
+        let (t, sink) = Tracer::memory();
+        {
+            let root = t.span("campaign");
+            let _job = root.child("job");
+            t.count(keys::PIPELINE_PROFILES, 10);
+            t.count(keys::PIPELINE_SHARED_ACCESSES, 500);
+            t.count(keys::PIPELINE_PMCS, 40);
+            t.count(keys::CLUSTERS, 6);
+            t.hist(keys::CLUSTER_SIZE, 3);
+            t.hist(keys::CLUSTER_SIZE, 9);
+            t.emit(&Event::Job {
+                t: t.now_us(),
+                job: 0,
+                trials: 24,
+                steps: 1000,
+                findings: 1,
+                attempts: 1,
+                quarantined: false,
+            });
+            t.emit(&Event::Job {
+                t: t.now_us(),
+                job: 1,
+                trials: 8,
+                steps: 400,
+                findings: 0,
+                attempts: 3,
+                quarantined: true,
+            });
+        }
+        t.emit(&Event::Summary {
+            t: t.now_us(),
+            profiles: 10,
+            shared_accesses: 500,
+            pmcs: 40,
+            clusters: 6,
+            jobs: 1,
+            trials: 32,
+            steps: 1400,
+            findings: 1,
+            quarantined: 1,
+        });
+        sink.lines()
+    }
+
+    #[test]
+    fn reconstructs_funnel_and_verifies_against_summary() {
+        let lines = traced_run();
+        let r = TraceReport::from_lines(lines.iter().map(String::as_str)).unwrap();
+        assert_eq!(
+            r.funnel(),
+            Funnel {
+                profiles: 10,
+                shared_accesses: 500,
+                pmcs: 40,
+                clusters: 6,
+                jobs: 1,
+                trials: 32,
+            }
+        );
+        assert_eq!(r.hists[keys::CLUSTER_SIZE].max, 9);
+        assert_eq!(r.spans["campaign"].closed, 1);
+        assert!(r.verify().is_empty(), "{:?}", r.verify());
+        let rendered = r.render();
+        assert!(rendered.contains("verification: OK"), "{rendered}");
+    }
+
+    #[test]
+    fn detects_summary_disagreement() {
+        let mut lines = traced_run();
+        // Tamper with a job event: drop 8 trials.
+        let idx = lines.iter().position(|l| l.contains("\"job\":1")).unwrap();
+        lines[idx] = lines[idx].replace("\"trials\":8", "\"trials\":0");
+        let r = TraceReport::from_lines(lines.iter().map(String::as_str)).unwrap();
+        let mismatches = r.verify();
+        assert!(mismatches.iter().any(|m| m.starts_with("trials:")), "{mismatches:?}");
+        assert!(r.render().contains("verification: FAILED"));
+    }
+
+    #[test]
+    fn missing_summary_is_a_verification_failure() {
+        let mut lines = traced_run();
+        lines.retain(|l| !l.contains("\"ev\":\"summary\""));
+        let r = TraceReport::from_lines(lines.iter().map(String::as_str)).unwrap();
+        assert_eq!(r.verify().len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_fail_with_position() {
+        let err = TraceReport::from_lines(["{\"t\":0,\"ev\":\"count\",\"key\":\"k\"}"]).unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let err = TraceReport::from_lines(["", "garbage"]).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_summary_rejected() {
+        let mut lines = traced_run();
+        let summary = lines.last().unwrap().clone();
+        lines.push(summary);
+        assert!(TraceReport::from_lines(lines.iter().map(String::as_str)).is_err());
+    }
+}

@@ -38,7 +38,7 @@ use sb_kernel::{BootedKernel, Program};
 use sb_queue::{panic_message, run_jobs_fallible, JobError, PoolOpts};
 use sb_vmm::access::AccessKind;
 use sb_vmm::replay::{RecordingSched, Schedule};
-use sb_vmm::sched::SnowboardSched;
+use sb_vmm::sched::{Scheduler as _, SnowboardSched};
 use sb_vmm::site::Site;
 use sb_vmm::Executor;
 
@@ -79,6 +79,10 @@ pub struct CampaignCfg {
     pub resume_from: Option<PathBuf>,
     /// Scripted fault injection (empty in production).
     pub fault_plan: FaultPlan,
+    /// Structured tracer; disabled by default. When enabled, the campaign
+    /// emits one `job` event per resolved job, scheduler-decision counters
+    /// at job boundaries, and watchdog/retry counters.
+    pub tracer: sb_obs::Tracer,
 }
 
 impl Default for CampaignCfg {
@@ -95,6 +99,7 @@ impl Default for CampaignCfg {
             checkpoint: None,
             resume_from: None,
             fault_plan: FaultPlan::default(),
+            tracer: sb_obs::Tracer::disabled(),
         }
     }
 }
@@ -322,6 +327,12 @@ pub fn test_one_pmc(
     let wprog = fetch(pair.0)?;
     let rprog = fetch(pair.1)?;
     let mut sched = SnowboardSched::new(seed, pmc.hints());
+    // Aggregate scheduler decisions in atomics; published as a handful of
+    // counter events when the job ends — never one trace line per access.
+    let decisions = Arc::new(sb_obs::CountingObserver::new());
+    if cfg.tracer.enabled() {
+        sched.set_observer(Some(decisions.clone() as Arc<dyn sb_vmm::sched::DecisionObserver>));
+    }
     let mut watched: std::collections::HashSet<PmcId> = [id].into_iter().collect();
     let mut out = PmcTestOutcome {
         pmc: Some(id),
@@ -337,6 +348,7 @@ pub fn test_one_pmc(
     let mut dedup = std::collections::HashSet::new();
     for trial in 0..cfg.trials_per_pmc {
         if let Some(overrun) = dog.check(out.steps) {
+            decisions.publish(&cfg.tracer);
             return Err(Error::Hang {
                 steps: overrun.steps,
                 elapsed: overrun.elapsed,
@@ -359,7 +371,7 @@ pub fn test_one_pmc(
         out.trials_run += 1;
         out.steps += r.report.steps;
         out.exercised |= channel_exercised(&r.report.trace, pmc);
-        let findings = sb_detect::analyze(&r.report);
+        let findings = sb_detect::analyze_traced(&r.report, &cfg.tracer);
         let mut found_new = false;
         for f in findings {
             if dedup.insert(f.dedup_key()) {
@@ -370,8 +382,10 @@ pub fn test_one_pmc(
         if found_new && out.first_finding_trial.is_none() {
             out.first_finding_trial = Some(trial);
             // Re-run this exact trial from the checkpoint under a recorder
-            // to capture a portable reproduction schedule (§6).
+            // to capture a portable reproduction schedule (§6). The replica
+            // must not report decisions — the trial already counted them.
             let mut replica = sched_checkpoint;
+            replica.set_observer(None);
             replica.begin_trial(seed.wrapping_add(u64::from(trial)));
             let mut recorder = RecordingSched::new(replica);
             let _ = exec.try_run(
@@ -396,6 +410,7 @@ pub fn test_one_pmc(
             }
         }
     }
+    decisions.publish(&cfg.tracer);
     Ok(out)
 }
 
@@ -431,7 +446,7 @@ fn run_one_job(
         let attempt = attempts;
         attempts += 1;
         if attempt > 0 {
-            std::thread::sleep(cfg.retry.backoff(attempt));
+            std::thread::sleep(cfg.retry.backoff_traced(attempt, &cfg.tracer));
         }
         let seed = reseed(base_seed, attempt);
         let result = catch_unwind(AssertUnwindSafe(|| -> SbResult<PmcTestOutcome> {
@@ -442,7 +457,7 @@ fn run_one_job(
                 return Err(Error::Injected { attempt });
             }
             let exec = slot.get_or_insert_with(|| Executor::new(2));
-            let mut dog = Watchdog::start(cfg.budget);
+            let mut dog = Watchdog::start_traced(cfg.budget, &cfg.tracer);
             if cfg.fault_plan.should_hang(job) {
                 dog.force_expired();
             }
@@ -526,6 +541,7 @@ pub fn run_campaign(
         .take(cfg.max_tested_pmcs)
         .collect();
     let index = Arc::new(IncidentalIndex::build(set));
+    let _campaign_span = cfg.tracer.span("campaign");
 
     let mut cp = match &cfg.resume_from {
         Some(path) => {
@@ -559,13 +575,36 @@ pub fn run_campaign(
         let pending_meta = &pending_meta;
         let ckpt_path = ckpt_path.clone();
         let results_seen = &mut results_seen;
+        let tracer = cfg.tracer.clone();
         move |slot: usize, r: &Result<JobVerdict, JobError>| {
             let (job, id) = pending_meta[slot];
             match fold_pool_result(job, id, r) {
                 JobVerdict::Completed(out) => {
+                    tracer.emit(&sb_obs::Event::Job {
+                        t: tracer.now_us(),
+                        job: job as u64,
+                        trials: u64::from(out.trials_run),
+                        steps: out.steps,
+                        findings: out.findings.len() as u64,
+                        attempts: u64::from(out.attempts),
+                        quarantined: false,
+                    });
+                    tracer.count(sb_obs::keys::TRIALS, u64::from(out.trials_run));
+                    tracer.count(sb_obs::keys::TRIAL_STEPS, out.steps);
+                    tracer.count(sb_obs::keys::JOBS_COMPLETED, 1);
                     cp.outcomes.insert(job, out);
                 }
                 JobVerdict::Quarantined(q) => {
+                    tracer.emit(&sb_obs::Event::Job {
+                        t: tracer.now_us(),
+                        job: job as u64,
+                        trials: 0,
+                        steps: 0,
+                        findings: 0,
+                        attempts: u64::from(q.attempts),
+                        quarantined: true,
+                    });
+                    tracer.count(sb_obs::keys::JOBS_QUARANTINED, 1);
                     // Rejected jobs never ran; leave them out of the
                     // checkpoint so a resumed campaign retries them.
                     if q.kind != FailureKind::Rejected {

@@ -47,7 +47,6 @@ pub mod cluster;
 pub mod diagnose;
 pub mod error;
 pub mod fault;
-pub mod json;
 pub mod metrics;
 pub mod multi;
 pub mod pmc;
@@ -58,6 +57,12 @@ pub mod triage;
 pub mod watchdog;
 
 use sb_kernel::{boot, BootedKernel, KernelConfig, Program};
+
+/// The hand-rolled u64-exact JSON codec now lives in `sb-obs` (it also
+/// serializes trace events); re-exported so `snowboard::json` call sites
+/// keep working.
+pub use sb_obs::json;
+pub use sb_obs::{keys as trace_keys, Tracer};
 
 pub use campaign::{CampaignCfg, CampaignReport, QuarantineRecord};
 pub use checkpoint::{Checkpoint, CheckpointCfg};
@@ -81,6 +86,8 @@ pub struct PipelineCfg {
     pub fuzz_budget: u64,
     /// Worker threads for profiling.
     pub workers: usize,
+    /// Structured tracer; disabled by default ([`Tracer::disabled`]).
+    pub tracer: Tracer,
 }
 
 impl Default for PipelineCfg {
@@ -90,6 +97,7 @@ impl Default for PipelineCfg {
             corpus_target: 120,
             fuzz_budget: 2_000,
             workers: 4,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -132,17 +140,33 @@ pub struct PrepStats {
 impl Pipeline {
     /// Runs stages 1–2: boot, fuzz a corpus, profile it, identify PMCs.
     pub fn prepare(config: KernelConfig, cfg: PipelineCfg) -> Self {
+        let tracer = cfg.tracer.clone();
+        let prep = tracer.span("prepare");
         let booted = boot(config);
         let t0 = std::time::Instant::now();
-        let (corpus, fuzz_stats) =
-            sb_fuzz::build_corpus(&booted, cfg.seed, cfg.corpus_target, cfg.fuzz_budget);
+        let (corpus, fuzz_stats) = {
+            let _s = prep.child("fuzz");
+            sb_fuzz::build_corpus(&booted, cfg.seed, cfg.corpus_target, cfg.fuzz_budget)
+        };
         let fuzz_time = t0.elapsed();
         let t1 = std::time::Instant::now();
-        let profiles = profile::profile_corpus(&booted, &corpus, cfg.workers);
+        let profiles = {
+            let _s = prep.child("profile");
+            profile::profile_corpus_traced(&booted, &corpus, cfg.workers, &tracer)
+        };
         let profile_time = t1.elapsed();
         let t2 = std::time::Instant::now();
-        let pmcs = pmc::identify(&profiles);
+        let pmcs = {
+            let _s = prep.child("identify");
+            pmc::identify_traced(&profiles, &tracer)
+        };
         let identify_time = t2.elapsed();
+        tracer.count(trace_keys::PIPELINE_PROFILES, profiles.len() as u64);
+        tracer.count(
+            trace_keys::PIPELINE_SHARED_ACCESSES,
+            profiles.iter().map(|p| p.accesses.len() as u64).sum(),
+        );
+        tracer.count(trace_keys::PIPELINE_PMCS, pmcs.len() as u64);
         let stats = PrepStats {
             fuzz_executed: fuzz_stats.executed,
             corpus_kept: fuzz_stats.kept,
@@ -164,12 +188,23 @@ impl Pipeline {
 
     /// Stage 3: ordered exemplars for one strategy.
     pub fn exemplars(&self, strategy: Strategy, order: select::ClusterOrder) -> Vec<PmcId> {
-        select::exemplars(
+        self.exemplars_traced(strategy, order, &Tracer::disabled())
+    }
+
+    /// [`Pipeline::exemplars`] with selection metrics emitted to `tracer`.
+    pub fn exemplars_traced(
+        &self,
+        strategy: Strategy,
+        order: select::ClusterOrder,
+        tracer: &Tracer,
+    ) -> Vec<PmcId> {
+        select::exemplars_traced(
             &self.pmcs,
             strategy,
             order,
             0xC1A5_5E00 ^ strategy as u64,
             &std::collections::HashSet::new(),
+            tracer,
         )
     }
 

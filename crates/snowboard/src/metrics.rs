@@ -62,11 +62,12 @@ pub struct StoreStats {
 
 impl StoreStats {
     /// Fraction of profile lookups served from the store, in `[0, 1]`.
-    /// Returns 1.0 when there were no lookups (nothing needed profiling).
+    /// Returns 0.0 when there were no lookups — a run that never consulted
+    /// the store must not report a (vacuously) perfect hit rate.
     pub fn hit_rate(&self) -> f64 {
         let total = self.profile_hits + self.profile_misses;
         if total == 0 {
-            1.0
+            0.0
         } else {
             self.profile_hits as f64 / total as f64
         }
@@ -260,4 +261,25 @@ pub fn find_pmc_by_sites<'a>(
             None
         }
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_with_zero_lookups_is_zero_not_perfect() {
+        let stats = StoreStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_divides_hits_by_lookups() {
+        let stats = StoreStats {
+            profile_hits: 3,
+            profile_misses: 1,
+            ..StoreStats::default()
+        };
+        assert!((stats.hit_rate() - 0.75).abs() < f64::EPSILON);
+    }
 }

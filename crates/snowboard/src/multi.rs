@@ -94,6 +94,32 @@ pub fn test_triple(
     trials: u32,
     stop_on_finding: bool,
 ) -> SbResult<TripleOutcome> {
+    test_triple_traced(
+        exec,
+        booted,
+        corpus,
+        set,
+        triple,
+        seed,
+        trials,
+        stop_on_finding,
+        &sb_obs::Tracer::disabled(),
+    )
+}
+
+/// [`test_triple`], counting executed trials as `multi.trials` on `tracer`.
+#[allow(clippy::too_many_arguments)]
+pub fn test_triple_traced(
+    exec: &mut Executor,
+    booted: &BootedKernel,
+    corpus: &[Program],
+    set: &PmcSet,
+    triple: TriplePmc,
+    seed: u64,
+    trials: u32,
+    stop_on_finding: bool,
+    tracer: &sb_obs::Tracer,
+) -> SbResult<TripleOutcome> {
     assert!(exec.vcpus() >= 3, "three-thread testing needs >=3 vCPUs");
     let pa = set.get(triple.a);
     let pb = set.get(triple.b);
@@ -139,7 +165,7 @@ pub fn test_triple(
         out.trials_run += 1;
         out.steps += r.report.steps;
         let mut found_new = false;
-        for f in sb_detect::analyze(&r.report) {
+        for f in sb_detect::analyze_traced(&r.report, tracer) {
             if dedup.insert(f.dedup_key()) {
                 out.findings.push(f);
                 found_new = true;
@@ -152,6 +178,7 @@ pub fn test_triple(
             break;
         }
     }
+    tracer.count(sb_obs::keys::MULTI_TRIALS, u64::from(out.trials_run));
     Ok(out)
 }
 

@@ -565,6 +565,15 @@ pub fn identify(profiles: &[SeqProfile]) -> PmcSet {
     st.into_set()
 }
 
+/// [`identify`], emitting the deduplicated read-index size
+/// (`pmc.reads_indexed`) to `tracer` when the join completes.
+pub fn identify_traced(profiles: &[SeqProfile], tracer: &sb_obs::Tracer) -> PmcSet {
+    let mut st = JoinState::new();
+    st.add_profiles(profiles, &IdentifyOpts::default());
+    tracer.count(sb_obs::keys::PMC_READS_INDEXED, st.reads_indexed() as u64);
+    st.into_set()
+}
+
 /// Runs Algorithm 1 with the write×read join sharded by address range
 /// across `workers` threads. The result is bit-identical to [`identify`]
 /// (same PMC ids, keys, df flags, and pair lists) — property-tested in

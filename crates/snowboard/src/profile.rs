@@ -8,6 +8,7 @@
 //! formula of §4.1.1.
 
 use sb_kernel::{BootedKernel, Program};
+use sb_obs::{keys, Tracer};
 use sb_vmm::access::Access;
 use sb_vmm::mem::{stack_base, stack_range_of, MAX_THREADS};
 use sb_vmm::sched::FreeRun;
@@ -76,25 +77,42 @@ pub fn profile_one_filtered(
     prog: &Program,
     filter: &SharedAccessFilter,
 ) -> Option<SeqProfile> {
+    profile_one_counted(exec, booted, test, prog, filter).0
+}
+
+/// [`profile_one_filtered`], also returning the pre-filter trace length of a
+/// completed run so callers can account for stack-filter attrition
+/// (`dropped = total - accesses.len()`). Failed runs report a total of 0.
+pub fn profile_one_counted(
+    exec: &mut Executor,
+    booted: &BootedKernel,
+    test: u32,
+    prog: &Program,
+    filter: &SharedAccessFilter,
+) -> (Option<SeqProfile>, u64) {
     let r = exec.run(
         booted.snapshot.clone(),
         vec![booted.kernel.process_job(prog.clone())],
         &mut FreeRun,
     );
     if !r.report.outcome.is_completed() {
-        return None;
+        return (None, 0);
     }
-    let accesses = r
+    let total = r.report.trace.len() as u64;
+    let accesses: Vec<Access> = r
         .report
         .trace
         .into_iter()
         .filter(|a| filter.is_shared(a))
         .collect();
-    Some(SeqProfile {
-        test,
-        accesses,
-        steps: r.report.steps,
-    })
+    (
+        Some(SeqProfile {
+            test,
+            accesses,
+            steps: r.report.steps,
+        }),
+        total,
+    )
 }
 
 /// Profiles an explicit job list, fanning out across `workers` executors via
@@ -106,25 +124,68 @@ pub fn profile_jobs(
     jobs: Vec<(u32, Program)>,
     workers: usize,
 ) -> Vec<(u32, Option<SeqProfile>)> {
+    profile_jobs_traced(booted, jobs, workers, &Tracer::disabled())
+}
+
+/// [`profile_jobs`], emitting profile counters (`profile.ok`,
+/// `profile.failed`, `profile.accesses_kept`, `profile.accesses_dropped`)
+/// to `tracer` once the batch completes.
+pub fn profile_jobs_traced(
+    booted: &BootedKernel,
+    jobs: Vec<(u32, Program)>,
+    workers: usize,
+    tracer: &Tracer,
+) -> Vec<(u32, Option<SeqProfile>)> {
     let filter = SharedAccessFilter::new();
-    sb_queue::run_jobs(
+    let out: Vec<(u32, Option<SeqProfile>, u64)> = sb_queue::run_jobs(
         jobs,
         workers,
         || Executor::new(1),
-        |exec, (i, prog)| (i, profile_one_filtered(exec, booted, i, &prog, &filter)),
-    )
+        |exec, (i, prog)| {
+            let (p, total) = profile_one_counted(exec, booted, i, &prog, &filter);
+            (i, p, total)
+        },
+    );
+    let (mut ok, mut failed, mut kept) = (0u64, 0u64, 0u64);
+    let mut dropped = 0u64;
+    for (_, p, total) in &out {
+        match p {
+            Some(p) => {
+                ok += 1;
+                kept += p.accesses.len() as u64;
+                dropped += total - p.accesses.len() as u64;
+            }
+            None => failed += 1,
+        }
+    }
+    tracer.count(keys::PROFILES_OK, ok);
+    tracer.count(keys::PROFILES_FAILED, failed);
+    tracer.count(keys::ACCESSES_KEPT, kept);
+    tracer.count(keys::ACCESSES_DROPPED, dropped);
+    out.into_iter().map(|(i, p, _)| (i, p)).collect()
 }
 
 /// Profiles a whole corpus, fanning out across `workers` executors via the
 /// work queue (the paper profiles on one big machine; we parallelize the
 /// same way its later stages do).
 pub fn profile_corpus(booted: &BootedKernel, corpus: &[Program], workers: usize) -> Vec<SeqProfile> {
+    profile_corpus_traced(booted, corpus, workers, &Tracer::disabled())
+}
+
+/// [`profile_corpus`] with profile-counter emission (see
+/// [`profile_jobs_traced`]).
+pub fn profile_corpus_traced(
+    booted: &BootedKernel,
+    corpus: &[Program],
+    workers: usize,
+    tracer: &Tracer,
+) -> Vec<SeqProfile> {
     let jobs: Vec<(u32, Program)> = corpus
         .iter()
         .enumerate()
         .map(|(i, p)| (i as u32, p.clone()))
         .collect();
-    profile_jobs(booted, jobs, workers)
+    profile_jobs_traced(booted, jobs, workers, tracer)
         .into_iter()
         .filter_map(|(_, p)| p)
         .collect()

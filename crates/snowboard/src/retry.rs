@@ -52,6 +52,15 @@ impl RetryPolicy {
             .saturating_mul(1u32.checked_shl(shift).unwrap_or(u32::MAX));
         grown.min(self.max_backoff)
     }
+
+    /// [`RetryPolicy::backoff`], counting each actual retry (attempt ≥ 1)
+    /// as `campaign.retries` on `tracer`.
+    pub fn backoff_traced(&self, attempt: u32, tracer: &sb_obs::Tracer) -> Duration {
+        if attempt > 0 {
+            tracer.count(sb_obs::keys::RETRIES, 1);
+        }
+        self.backoff(attempt)
+    }
 }
 
 /// Derives the trial seed for a retry attempt.
@@ -121,5 +130,15 @@ mod tests {
     #[test]
     fn none_policy_is_single_attempt() {
         assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+
+    #[test]
+    fn traced_backoff_counts_only_actual_retries() {
+        let (tracer, sink) = sb_obs::Tracer::memory();
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_traced(0, &tracer), Duration::ZERO);
+        assert_eq!(p.backoff_traced(1, &tracer), p.backoff(1));
+        let _ = p.backoff_traced(2, &tracer);
+        assert_eq!(sink.lines().len(), 2, "attempt 0 is not a retry");
     }
 }

@@ -52,7 +52,25 @@ pub fn exemplars(
     seed: u64,
     exclude: &HashSet<PmcId>,
 ) -> Vec<PmcId> {
+    exemplars_traced(set, strategy, order, seed, exclude, &sb_obs::Tracer::disabled())
+}
+
+/// [`exemplars`], emitting selection metrics to `tracer`: the number of
+/// clusters (`select.clusters`), one `select.cluster_size` histogram sample
+/// per cluster, and the exemplar count (`select.exemplars`).
+pub fn exemplars_traced(
+    set: &PmcSet,
+    strategy: Strategy,
+    order: ClusterOrder,
+    seed: u64,
+    exclude: &HashSet<PmcId>,
+    tracer: &sb_obs::Tracer,
+) -> Vec<PmcId> {
     let clusters = order_clusters(cluster(set, strategy), order, seed);
+    tracer.count(sb_obs::keys::CLUSTERS, clusters.len() as u64);
+    for c in &clusters {
+        tracer.hist(sb_obs::keys::CLUSTER_SIZE, c.len() as u64);
+    }
     let mut rng = StdRng::seed_from_u64(seed ^ 0xE7E7_5EED);
     let mut picked = HashSet::new();
     let mut out = Vec::with_capacity(clusters.len());
@@ -68,6 +86,7 @@ pub fn exemplars(
             out.push(id);
         }
     }
+    tracer.count(sb_obs::keys::EXEMPLARS, out.len() as u64);
     out
 }
 

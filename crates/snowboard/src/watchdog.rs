@@ -82,15 +82,23 @@ pub struct Watchdog {
     budget: JobBudget,
     started: Instant,
     forced: bool,
+    tracer: sb_obs::Tracer,
 }
 
 impl Watchdog {
     /// Starts the clock for one job.
     pub fn start(budget: JobBudget) -> Self {
+        Watchdog::start_traced(budget, &sb_obs::Tracer::disabled())
+    }
+
+    /// [`Watchdog::start`], emitting a `watchdog.fires` count to `tracer`
+    /// each time [`check`](Self::check) observes an overrun.
+    pub fn start_traced(budget: JobBudget, tracer: &sb_obs::Tracer) -> Self {
         Watchdog {
             budget,
             started: Instant::now(),
             forced: false,
+            tracer: tracer.clone(),
         }
     }
 
@@ -114,6 +122,7 @@ impl Watchdog {
         } else {
             return None;
         };
+        self.tracer.count(sb_obs::keys::WATCHDOG_FIRES, 1);
         Some(Overrun {
             reason,
             steps,

@@ -13,6 +13,7 @@ fn small_cfg() -> PipelineCfg {
         corpus_target: 60,
         fuzz_budget: 600,
         workers: 4,
+        ..PipelineCfg::default()
     }
 }
 

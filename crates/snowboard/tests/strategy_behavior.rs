@@ -19,6 +19,7 @@ fn pipeline() -> &'static Pipeline {
                 corpus_target: 80,
                 fuzz_budget: 900,
                 workers: 4,
+                ..PipelineCfg::default()
             },
         )
     })

@@ -13,7 +13,7 @@ use sb_kernel::{boot, KernelConfig};
 use snowboard::metrics::StoreStats;
 use snowboard::pmc::{IdentifyOpts, JoinState};
 use snowboard::profile::{self, SeqProfile};
-use snowboard::{Pipeline, PipelineCfg, PrepStats};
+use snowboard::{trace_keys, Pipeline, PipelineCfg, PrepStats};
 
 use crate::store::{profile_key, PmcLookup, ProfileLookup, Store};
 use crate::Error;
@@ -26,14 +26,19 @@ pub fn prepare(
     identify: &IdentifyOpts,
     store: &mut Store,
 ) -> Result<(Pipeline, StoreStats), Error> {
+    let tracer = cfg.tracer.clone();
+    let prep = tracer.span("prepare");
     let booted = boot(config);
     let t0 = Instant::now();
-    let (corpus, fuzz_stats) =
-        sb_fuzz::build_corpus(&booted, cfg.seed, cfg.corpus_target, cfg.fuzz_budget);
+    let (corpus, fuzz_stats) = {
+        let _s = prep.child("fuzz");
+        sb_fuzz::build_corpus(&booted, cfg.seed, cfg.corpus_target, cfg.fuzz_budget)
+    };
     let fuzz_time = t0.elapsed();
 
     // Stage 1: profile, serving unchanged tests from the store.
     let t1 = Instant::now();
+    let profile_span = prep.child("profile");
     let keys: Vec<u64> = corpus
         .iter()
         .map(|p| profile_key(&config, cfg.seed, p))
@@ -47,7 +52,7 @@ pub fn prepare(
             ProfileLookup::Miss => jobs.push((i as u32, prog.clone())),
         }
     }
-    let fresh = profile::profile_jobs(&booted, jobs, cfg.workers);
+    let fresh = profile::profile_jobs_traced(&booted, jobs, cfg.workers, &tracer);
     let batch: Vec<(u64, Option<SeqProfile>)> = fresh
         .iter()
         .map(|(i, p)| (keys[*i as usize], p.clone()))
@@ -60,10 +65,12 @@ pub fn prepare(
         .into_iter()
         .filter_map(|s| s.expect("every corpus entry resolved"))
         .collect();
+    drop(profile_span);
     let profile_time = t1.elapsed();
 
     // Stage 2: identify, reusing a stored set when possible.
     let t2 = Instant::now();
+    let identify_span = prep.child("identify");
     let mut pmc_cache_hit = false;
     let mut pmc_incremental = false;
     let mut shard_report = None;
@@ -92,7 +99,17 @@ pub fn prepare(
         store.save_pmcs(&keys, &pmcs)?;
     }
     store.flush()?;
+    drop(identify_span);
     let identify_time = t2.elapsed();
+
+    tracer.count(trace_keys::STORE_PROFILE_HITS, store.profile_hits);
+    tracer.count(trace_keys::STORE_PROFILE_MISSES, store.profile_misses);
+    tracer.count(trace_keys::PIPELINE_PROFILES, profiles.len() as u64);
+    tracer.count(
+        trace_keys::PIPELINE_SHARED_ACCESSES,
+        profiles.iter().map(|p| p.accesses.len() as u64).sum(),
+    );
+    tracer.count(trace_keys::PIPELINE_PMCS, pmcs.len() as u64);
 
     let (_, seg_stats) = store.segment_sizes()?;
     let store_stats = StoreStats {

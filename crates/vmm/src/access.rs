@@ -55,9 +55,10 @@ pub struct Access {
 }
 
 impl Access {
-    /// End of the accessed range (exclusive).
+    /// End of the accessed range (exclusive), saturating at the top of the
+    /// address space so ranges ending at `u64::MAX` cannot wrap to 0.
     pub fn end(&self) -> u64 {
-        self.addr + u64::from(self.len)
+        self.addr.saturating_add(u64::from(self.len))
     }
 
     /// Returns true if this access's range overlaps `other`'s.
@@ -91,7 +92,9 @@ impl Access {
 /// Computes the overlapping byte range of two (addr, len) ranges, if any.
 pub fn range_overlap(a_addr: u64, a_len: u8, b_addr: u64, b_len: u8) -> Option<(u64, u8)> {
     let start = a_addr.max(b_addr);
-    let end = (a_addr + u64::from(a_len)).min(b_addr + u64::from(b_len));
+    let end = a_addr
+        .saturating_add(u64::from(a_len))
+        .min(b_addr.saturating_add(u64::from(b_len)));
     if start < end {
         Some((start, (end - start) as u8))
     } else {
@@ -128,6 +131,16 @@ mod tests {
         assert!(!a.overlaps(&c));
         assert_eq!(range_overlap(100, 8, 104, 8), Some((104, 4)));
         assert_eq!(range_overlap(100, 8, 108, 4), None);
+    }
+
+    #[test]
+    fn ranges_at_address_space_end_saturate_instead_of_wrapping() {
+        let hi = acc(u64::MAX - 4, 8, 0, AccessKind::Write);
+        assert_eq!(hi.end(), u64::MAX);
+        let other = acc(u64::MAX - 2, 8, 0, AccessKind::Read);
+        assert!(hi.overlaps(&other));
+        assert_eq!(range_overlap(u64::MAX - 4, 8, u64::MAX - 2, 8), Some((u64::MAX - 2, 2)));
+        assert_eq!(range_overlap(u64::MAX - 16, 8, u64::MAX - 4, 8), None);
     }
 
     #[test]

@@ -16,7 +16,14 @@
 //!   PMC access (`pmc_access_coming`), and accepts incidental PMCs discovered
 //!   mid-campaign.
 
+//!
+//! All schedulers except [`FreeRun`] accept a [`DecisionObserver`] via
+//! [`Scheduler::set_observer`], reporting every scheduling decision
+//! ([`SchedDecision`]) for observability and determinism testing. The hook
+//! is `None` by default and costs one branch per decision when unset.
+
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -41,13 +48,67 @@ pub struct HintAccess {
 }
 
 impl HintAccess {
+    /// End of the hinted range (exclusive), saturating at the top of the
+    /// address space exactly like [`Access::end`] — `addr + len` must not
+    /// wrap for hints near `u64::MAX`.
+    pub fn end(&self) -> u64 {
+        self.addr.saturating_add(u64::from(self.len))
+    }
+
     /// True if `a` is this pattern: same instruction, same access type, and
     /// overlapping memory range.
     pub fn matches(&self, a: &Access) -> bool {
-        self.site == a.site
-            && self.kind == a.kind
-            && self.addr < a.end()
-            && a.addr < self.addr + u64::from(self.len)
+        self.site == a.site && self.kind == a.kind && self.addr < a.end() && a.addr < self.end()
+    }
+}
+
+/// One scheduling decision, reported to a [`DecisionObserver`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SchedDecision {
+    /// An access matched the scheduler's hint set (a watched site for
+    /// [`SkiSched`], a learned flag or PMC pattern for [`SnowboardSched`]).
+    /// Reported whether or not the coin flip then grants a preemption.
+    HintHit {
+        /// Thread that performed the matching access.
+        thread: usize,
+    },
+    /// A voluntary preemption was granted after an access.
+    Preempt {
+        /// Thread being preempted.
+        thread: usize,
+        /// True if a hint (not a blind coin flip or change point) drove it.
+        hinted: bool,
+    },
+    /// The coordinator force-switched a stuck thread (liveness).
+    Forced {
+        /// Thread that was force-switched.
+        thread: usize,
+    },
+    /// The scheduler picked the next thread to run.
+    Pick {
+        /// Thread that was running (or blocked/finished).
+        from: usize,
+        /// Thread chosen to run next.
+        to: usize,
+    },
+    /// Incidentally discovered PMC patterns were added to the watch set
+    /// (Algorithm 2 line 27).
+    PmcAdded {
+        /// Number of hint patterns added.
+        count: usize,
+    },
+}
+
+/// Receives every [`SchedDecision`] a scheduler makes. Implementations must
+/// be cheap: the hook fires on the per-access hot path.
+pub trait DecisionObserver: Send + Sync {
+    /// Called synchronously for each decision, in decision order.
+    fn on_decision(&self, d: SchedDecision);
+}
+
+fn notify(observer: &Option<Arc<dyn DecisionObserver>>, d: SchedDecision) {
+    if let Some(o) = observer {
+        o.on_decision(d);
     }
 }
 
@@ -65,6 +126,13 @@ pub trait Scheduler {
 
     /// Notification of a liveness-forced preemption of thread `t`.
     fn on_forced_switch(&mut self, _t: usize) {}
+
+    /// Installs (or clears) a [`DecisionObserver`]. The default is a no-op
+    /// for schedulers with nothing to report — [`FreeRun`] never preempts,
+    /// and the replay recorders capture switch points instead.
+    fn set_observer(&mut self, observer: Option<Arc<dyn DecisionObserver>>) {
+        let _ = observer;
+    }
 }
 
 /// Runs each thread to completion without voluntary preemption.
@@ -81,6 +149,7 @@ impl Scheduler for FreeRun {
 pub struct RandomSched {
     rng: StdRng,
     p: f64,
+    observer: Option<Arc<dyn DecisionObserver>>,
 }
 
 impl RandomSched {
@@ -89,17 +158,32 @@ impl RandomSched {
         RandomSched {
             rng: StdRng::seed_from_u64(seed),
             p,
+            observer: None,
         }
     }
 }
 
 impl Scheduler for RandomSched {
-    fn after_access(&mut self, _t: usize, _access: &Access) -> bool {
-        self.rng.gen_bool(self.p)
+    fn after_access(&mut self, t: usize, _access: &Access) -> bool {
+        let switch = self.rng.gen_bool(self.p);
+        if switch {
+            notify(&self.observer, SchedDecision::Preempt { thread: t, hinted: false });
+        }
+        switch
     }
 
-    fn pick(&mut self, _prev: usize, candidates: &[usize]) -> usize {
-        candidates[self.rng.gen_range(0..candidates.len())]
+    fn pick(&mut self, prev: usize, candidates: &[usize]) -> usize {
+        let to = candidates[self.rng.gen_range(0..candidates.len())];
+        notify(&self.observer, SchedDecision::Pick { from: prev, to });
+        to
+    }
+
+    fn on_forced_switch(&mut self, t: usize) {
+        notify(&self.observer, SchedDecision::Forced { thread: t });
+    }
+
+    fn set_observer(&mut self, observer: Option<Arc<dyn DecisionObserver>>) {
+        self.observer = observer;
     }
 }
 
@@ -109,6 +193,7 @@ impl Scheduler for RandomSched {
 pub struct SkiSched {
     sites: HashSet<Site>,
     rng: StdRng,
+    observer: Option<Arc<dyn DecisionObserver>>,
 }
 
 impl SkiSched {
@@ -117,6 +202,7 @@ impl SkiSched {
         SkiSched {
             sites: sites.into_iter().collect(),
             rng: StdRng::seed_from_u64(seed),
+            observer: None,
         }
     }
 
@@ -127,12 +213,30 @@ impl SkiSched {
 }
 
 impl Scheduler for SkiSched {
-    fn after_access(&mut self, _t: usize, access: &Access) -> bool {
-        self.sites.contains(&access.site) && self.rng.gen_bool(0.5)
+    fn after_access(&mut self, t: usize, access: &Access) -> bool {
+        if !self.sites.contains(&access.site) {
+            return false;
+        }
+        notify(&self.observer, SchedDecision::HintHit { thread: t });
+        let switch = self.rng.gen_bool(0.5);
+        if switch {
+            notify(&self.observer, SchedDecision::Preempt { thread: t, hinted: true });
+        }
+        switch
     }
 
-    fn pick(&mut self, _prev: usize, candidates: &[usize]) -> usize {
-        candidates[self.rng.gen_range(0..candidates.len())]
+    fn pick(&mut self, prev: usize, candidates: &[usize]) -> usize {
+        let to = candidates[self.rng.gen_range(0..candidates.len())];
+        notify(&self.observer, SchedDecision::Pick { from: prev, to });
+        to
+    }
+
+    fn on_forced_switch(&mut self, t: usize) {
+        notify(&self.observer, SchedDecision::Forced { thread: t });
+    }
+
+    fn set_observer(&mut self, observer: Option<Arc<dyn DecisionObserver>>) {
+        self.observer = observer;
     }
 }
 
@@ -150,6 +254,7 @@ pub struct PctSched {
     executed: u64,
     next_low: u64,
     rng: StdRng,
+    observer: Option<Arc<dyn DecisionObserver>>,
 }
 
 impl PctSched {
@@ -172,12 +277,16 @@ impl PctSched {
             executed: 0,
             next_low: 1000,
             rng,
+            observer: None,
         }
     }
 
     /// Reseeds for a new trial with fresh priorities and change points.
+    /// Keeps the installed observer.
     pub fn begin_trial(&mut self, seed: u64, k: u64, d: u32) {
+        let observer = self.observer.take();
         *self = PctSched::new(seed, k, d);
+        self.observer = observer;
     }
 }
 
@@ -193,6 +302,7 @@ impl Scheduler for PctSched {
             // Drop the running thread below everyone else.
             self.next_low = self.next_low.saturating_sub(1);
             self.priorities[t] = self.next_low;
+            notify(&self.observer, SchedDecision::Preempt { thread: t, hinted: false });
             return true;
         }
         false
@@ -201,11 +311,13 @@ impl Scheduler for PctSched {
     fn pick(&mut self, prev: usize, candidates: &[usize]) -> usize {
         // The coordinator never calls `pick` with an empty candidate set;
         // stay on `prev` rather than panicking if a custom harness does.
-        candidates
+        let to = candidates
             .iter()
             .copied()
             .max_by_key(|t| self.priorities[*t])
-            .unwrap_or(prev)
+            .unwrap_or(prev);
+        notify(&self.observer, SchedDecision::Pick { from: prev, to });
+        to
     }
 
     fn on_forced_switch(&mut self, t: usize) {
@@ -213,6 +325,11 @@ impl Scheduler for PctSched {
         self.next_low = self.next_low.saturating_sub(1);
         self.priorities[t] = self.next_low;
         let _ = &self.rng;
+        notify(&self.observer, SchedDecision::Forced { thread: t });
+    }
+
+    fn set_observer(&mut self, observer: Option<Arc<dyn DecisionObserver>>) {
+        self.observer = observer;
     }
 }
 
@@ -242,6 +359,7 @@ pub struct SnowboardSched {
     rng: StdRng,
     switch_p: f64,
     learn_flags: bool,
+    observer: Option<Arc<dyn DecisionObserver>>,
 }
 
 impl SnowboardSched {
@@ -254,6 +372,7 @@ impl SnowboardSched {
             rng: StdRng::seed_from_u64(seed),
             switch_p: 0.5,
             learn_flags: true,
+            observer: None,
         }
     }
 
@@ -276,7 +395,12 @@ impl SnowboardSched {
     /// Adds an incidentally discovered PMC's access patterns to the watch
     /// set (Algorithm 2 line 27).
     pub fn add_pmc(&mut self, accesses: impl IntoIterator<Item = HintAccess>) {
+        let before = self.pmcs.len();
         self.pmcs.extend(accesses);
+        let added = self.pmcs.len() - before;
+        if added > 0 {
+            notify(&self.observer, SchedDecision::PmcAdded { count: added });
+        }
     }
 
     /// Number of `flags` learned so far (diagnostics).
@@ -292,14 +416,17 @@ impl SnowboardSched {
 impl Scheduler for SnowboardSched {
     fn after_access(&mut self, t: usize, access: &Access) -> bool {
         let mut switch = false;
+        let mut hinted = false;
         // `pmc_access_coming`: the last trial saw a PMC access right after
         // this (site, addr); consider yielding before it happens.
         if self.flags.contains(&(access.site, access.addr)) {
+            hinted = true;
             switch = self.rng.gen_bool(self.switch_p);
         }
         // `performed_pmc_access`: remember the preceding access as a flag
         // and consider yielding right after the PMC access.
         if self.matches_pmc(access) {
+            hinted = true;
             if self.learn_flags {
                 if let Some(prev) = self.last[t] {
                     self.flags.insert(prev);
@@ -308,11 +435,27 @@ impl Scheduler for SnowboardSched {
             switch = switch || self.rng.gen_bool(self.switch_p);
         }
         self.last[t] = Some((access.site, access.addr));
+        if hinted {
+            notify(&self.observer, SchedDecision::HintHit { thread: t });
+        }
+        if switch {
+            notify(&self.observer, SchedDecision::Preempt { thread: t, hinted: true });
+        }
         switch
     }
 
-    fn pick(&mut self, _prev: usize, candidates: &[usize]) -> usize {
-        candidates[self.rng.gen_range(0..candidates.len())]
+    fn pick(&mut self, prev: usize, candidates: &[usize]) -> usize {
+        let to = candidates[self.rng.gen_range(0..candidates.len())];
+        notify(&self.observer, SchedDecision::Pick { from: prev, to });
+        to
+    }
+
+    fn on_forced_switch(&mut self, t: usize) {
+        notify(&self.observer, SchedDecision::Forced { thread: t });
+    }
+
+    fn set_observer(&mut self, observer: Option<Arc<dyn DecisionObserver>>) {
+        self.observer = observer;
     }
 }
 
@@ -349,6 +492,66 @@ mod tests {
         assert!(!h.matches(&acc(s, 104, AccessKind::Read)));
         assert!(!h.matches(&acc(s, 108, AccessKind::Write)));
         assert!(!h.matches(&acc(site!("sched:other"), 100, AccessKind::Write)));
+    }
+
+    #[test]
+    fn hint_matching_at_address_space_end_does_not_wrap() {
+        let s = site!("sched:hi");
+        let h = HintAccess {
+            site: s,
+            kind: AccessKind::Write,
+            addr: u64::MAX - 4,
+            len: 8,
+        };
+        // `addr + len` overflows u64; the saturating end must still match an
+        // overlapping access at the top of the address space...
+        assert_eq!(h.end(), u64::MAX);
+        assert!(h.matches(&acc(s, u64::MAX - 2, AccessKind::Write)));
+        assert!(h.matches(&acc(s, u64::MAX - 8, AccessKind::Write)));
+        // ...and still reject a disjoint one below the hinted range.
+        assert!(!h.matches(&acc(s, u64::MAX - 20, AccessKind::Write)));
+    }
+
+    #[test]
+    fn observers_see_preempts_picks_and_pmc_additions() {
+        #[derive(Default)]
+        struct Rec(std::sync::Mutex<Vec<SchedDecision>>);
+        impl DecisionObserver for Rec {
+            fn on_decision(&self, d: SchedDecision) {
+                self.0.lock().unwrap().push(d);
+            }
+        }
+        let w = site!("sb:obs_write");
+        let h = HintAccess {
+            site: w,
+            kind: AccessKind::Write,
+            addr: 0x2000,
+            len: 8,
+        };
+        let rec = Arc::new(Rec::default());
+        let mut s = SnowboardSched::new(11, [h]);
+        s.set_observer(Some(rec.clone()));
+        s.begin_trial(11);
+        for _ in 0..16 {
+            if s.after_access(0, &acc(w, 0x2000, AccessKind::Write)) {
+                s.pick(0, &[0, 1]);
+            }
+        }
+        s.add_pmc([HintAccess {
+            site: site!("sb:obs_other"),
+            kind: AccessKind::Read,
+            addr: 0x3000,
+            len: 4,
+        }]);
+        s.on_forced_switch(1);
+        let seen = rec.0.lock().unwrap().clone();
+        assert!(seen.iter().any(|d| matches!(d, SchedDecision::HintHit { thread: 0 })));
+        assert!(seen
+            .iter()
+            .any(|d| matches!(d, SchedDecision::Preempt { thread: 0, hinted: true })));
+        assert!(seen.iter().any(|d| matches!(d, SchedDecision::Pick { from: 0, .. })));
+        assert!(seen.contains(&SchedDecision::PmcAdded { count: 1 }));
+        assert!(seen.contains(&SchedDecision::Forced { thread: 1 }));
     }
 
     #[test]

@@ -21,6 +21,7 @@ fn main() {
             corpus_target: 80,
             fuzz_budget: 1_000,
             workers: 4,
+            ..PipelineCfg::default()
         },
     );
     println!(

@@ -24,6 +24,7 @@ fn small_cfg(corpus_target: usize) -> PipelineCfg {
         corpus_target,
         fuzz_budget: 600,
         workers: 2,
+        ..PipelineCfg::default()
     }
 }
 
