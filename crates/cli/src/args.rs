@@ -18,6 +18,8 @@ COMMANDS:
     list-bugs     print the ground-truth issue registry (Table 2)
     repro         reproduce one known bug with its PMC-hinted schedule
     store stats   print profile/PMC store hit rate and segment sizes
+    store fsck    verify store integrity (read-only); exits nonzero if dirty
+    store repair  drop damaged records and truncate torn segment tails
     trace report  reconstruct stage timings and the funnel from a trace dir
     help          show this message
 
@@ -37,6 +39,8 @@ OPTIONS (hunt):
     --job-deadline <SECS>         per-job wall-clock watchdog [default: 60]
     --checkpoint <PATH>           write progress checkpoints to PATH
     --resume <PATH>               resume from a checkpoint written by --checkpoint
+    --resume-or-fresh <PATH>      like --resume, but a corrupt or missing
+                                  checkpoint warns and starts fresh
     --store <DIR>                 persist/reuse profiles and PMCs in DIR
     --no-cache                    with --store: write results but serve no reads
     --trace-dir <DIR>             write structured JSONL trace events to DIR
@@ -44,6 +48,8 @@ OPTIONS (hunt):
 OPTIONS (strategies):   --version, --patched, --seed, --corpus
 OPTIONS (repro):        --bug <1|2|3|4|11|12> (console-detectable bugs)
 OPTIONS (store stats):  --store <DIR> (required)
+OPTIONS (store fsck):   --store <DIR> (required)
+OPTIONS (store repair): --store <DIR> (required)
 OPTIONS (trace report): --trace-dir <DIR> (required)
 ";
 
@@ -74,6 +80,9 @@ pub struct HuntOpts {
     pub checkpoint: Option<PathBuf>,
     /// Checkpoint file to resume from.
     pub resume: Option<PathBuf>,
+    /// With a resume path: tolerate a corrupt, truncated, or mismatched
+    /// checkpoint by warning and starting fresh instead of aborting.
+    pub resume_lenient: bool,
     /// Profile/PMC store directory; `None` runs fully in memory.
     pub store: Option<PathBuf>,
     /// With a store: disable cache reads (results are still written back).
@@ -106,6 +115,16 @@ pub enum Cmd {
     },
     /// Store inspection: manifest hit rate and segment sizes.
     StoreStats {
+        /// Store directory.
+        store: PathBuf,
+    },
+    /// Read-only store integrity check.
+    StoreFsck {
+        /// Store directory.
+        store: PathBuf,
+    },
+    /// Destructive store repair: drop damaged records, truncate torn tails.
+    StoreRepair {
         /// Store directory.
         store: PathBuf,
     },
@@ -184,9 +203,10 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
         }
         "store" => {
             let Some(sub) = argv.get(1) else {
-                return Err("store requires a subcommand (stats)".into());
+                return Err("store requires a subcommand (stats, fsck, repair)".into());
             };
-            if sub != "stats" {
+            let sub = sub.as_str();
+            if !["stats", "fsck", "repair"].contains(&sub) {
                 return Err(format!("unknown store subcommand '{sub}'"));
             }
             let mut store: Option<PathBuf> = None;
@@ -198,8 +218,12 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                 }
                 i += 1;
             }
-            let store = store.ok_or("store stats requires --store <dir>")?;
-            Ok(Cmd::StoreStats { store })
+            let store = store.ok_or_else(|| format!("store {sub} requires --store <dir>"))?;
+            Ok(match sub {
+                "stats" => Cmd::StoreStats { store },
+                "fsck" => Cmd::StoreFsck { store },
+                _ => Cmd::StoreRepair { store },
+            })
         }
         "trace" => {
             let Some(sub) = argv.get(1) else {
@@ -237,6 +261,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
             let mut job_deadline_secs = 60u64;
             let mut checkpoint: Option<PathBuf> = None;
             let mut resume: Option<PathBuf> = None;
+            let mut resume_lenient = false;
             let mut store: Option<PathBuf> = None;
             let mut no_cache = false;
             let mut trace_dir: Option<PathBuf> = None;
@@ -276,6 +301,11 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                     "--resume" if is_hunt => {
                         resume = Some(PathBuf::from(take_value(argv, &mut i, "--resume")?))
                     }
+                    "--resume-or-fresh" if is_hunt => {
+                        resume =
+                            Some(PathBuf::from(take_value(argv, &mut i, "--resume-or-fresh")?));
+                        resume_lenient = true;
+                    }
                     "--store" if is_hunt => {
                         store = Some(PathBuf::from(take_value(argv, &mut i, "--store")?))
                     }
@@ -311,6 +341,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                     job_deadline_secs,
                     checkpoint,
                     resume,
+                    resume_lenient,
                     store,
                     no_cache,
                     trace_dir,
@@ -365,9 +396,37 @@ mod tests {
                 assert_eq!(o.job_deadline_secs, 120);
                 assert_eq!(o.checkpoint, Some(PathBuf::from("/tmp/cp.json")));
                 assert_eq!(o.resume, Some(PathBuf::from("/tmp/old.json")));
+                assert!(!o.resume_lenient, "--resume stays strict");
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn resume_or_fresh_sets_lenient_resume() {
+        match parse(&argv("hunt --resume-or-fresh /tmp/cp.json")).unwrap() {
+            Cmd::Hunt(o) => {
+                assert_eq!(o.resume, Some(PathBuf::from("/tmp/cp.json")));
+                assert!(o.resume_lenient);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("hunt --resume-or-fresh")).is_err(), "needs a value");
+        assert!(parse(&argv("strategies --resume-or-fresh /x")).is_err(), "hunt-only");
+    }
+
+    #[test]
+    fn parses_store_fsck_and_repair() {
+        assert_eq!(
+            parse(&argv("store fsck --store /tmp/sbstore")).unwrap(),
+            Cmd::StoreFsck { store: PathBuf::from("/tmp/sbstore") }
+        );
+        assert_eq!(
+            parse(&argv("store repair --store /tmp/sbstore")).unwrap(),
+            Cmd::StoreRepair { store: PathBuf::from("/tmp/sbstore") }
+        );
+        assert!(parse(&argv("store fsck")).is_err(), "--store is required");
+        assert!(parse(&argv("store repair")).is_err(), "--store is required");
     }
 
     #[test]

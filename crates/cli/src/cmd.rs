@@ -28,6 +28,8 @@ pub fn run(cmd: Cmd) -> ExitCode {
         Cmd::Strategies { config, seed, corpus } => strategies(config, seed, corpus),
         Cmd::Repro { bug } => repro(bug),
         Cmd::StoreStats { store } => store_stats(&store),
+        Cmd::StoreFsck { store } => store_fsck(&store),
+        Cmd::StoreRepair { store } => store_repair(&store),
         Cmd::TraceReport { trace_dir } => trace_report(&trace_dir),
         Cmd::Hunt(opts) => hunt(opts),
     }
@@ -43,7 +45,25 @@ fn print_store_error(context: &str, e: &sb_store::Error) {
     eprintln!();
 }
 
+/// `Store::open` creates directories as a side effect, which would silently
+/// turn a typo'd path into a fresh empty store; commands that only *inspect*
+/// must reject a path that isn't an existing store.
+fn require_store_dir(dir: &std::path::Path) -> Result<(), ExitCode> {
+    if !dir.is_dir() {
+        eprintln!("error: store directory {} does not exist", dir.display());
+        return Err(ExitCode::FAILURE);
+    }
+    if !dir.join("manifest.json").is_file() {
+        eprintln!("error: {} is not a store (no manifest.json)", dir.display());
+        return Err(ExitCode::FAILURE);
+    }
+    Ok(())
+}
+
 fn store_stats(dir: &std::path::Path) -> ExitCode {
+    if let Err(code) = require_store_dir(dir) {
+        return code;
+    }
     let store = match Store::open(dir) {
         Ok(s) => s,
         Err(e) => {
@@ -69,6 +89,63 @@ fn store_stats(dir: &std::path::Path) -> ExitCode {
     println!("{} segment file(s), {} bytes total", stats.segments, stats.bytes);
     for (name, bytes) in sizes {
         println!("  {name:<14} {bytes:>12} B");
+    }
+    ExitCode::SUCCESS
+}
+
+fn store_fsck(dir: &std::path::Path) -> ExitCode {
+    if let Err(code) = require_store_dir(dir) {
+        return code;
+    }
+    let report = match sb_store::fsck(dir) {
+        Ok(r) => r,
+        Err(e) => {
+            print_store_error("fsck", &e);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{} segment file(s): {} record(s) ok, {} damaged, {} torn byte(s)",
+        report.segments, report.records_ok, report.records_damaged, report.torn_bytes
+    );
+    for p in &report.problems {
+        println!("  {p}");
+    }
+    if report.clean() {
+        println!("store is clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "store is dirty; `snowboard-cli store repair --store {}` drops the damage",
+            dir.display()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn store_repair(dir: &std::path::Path) -> ExitCode {
+    if let Err(code) = require_store_dir(dir) {
+        return code;
+    }
+    let report = match sb_store::repair(dir) {
+        Ok(r) => r,
+        Err(e) => {
+            print_store_error("repair", &e);
+            return ExitCode::FAILURE;
+        }
+    };
+    if report.untouched() {
+        println!("nothing to repair");
+    } else {
+        println!(
+            "dropped {} profile record(s) and {} PMC record(s); \
+             truncated {} torn segment(s), removed {} unrecognizable segment(s)",
+            report.dropped_profiles,
+            report.dropped_pmcs,
+            report.truncated_segments,
+            report.removed_segments
+        );
+        println!("dropped records will be recomputed and healed on the next store-backed run");
     }
     ExitCode::SUCCESS
 }
@@ -109,6 +186,12 @@ fn print_hunt_store_stats(s: &StoreStats) {
         "[store] pmcs {pmc_mode}; {} segment(s), {} bytes; {} shard(s), skew {:.2}",
         s.segments, s.stored_bytes, s.shards, s.shard_skew
     );
+    if s.records_damaged > 0 {
+        println!(
+            "[store] damaged {} record(s), healed {}",
+            s.records_damaged, s.records_healed
+        );
+    }
 }
 
 fn list_bugs() -> ExitCode {
@@ -170,21 +253,26 @@ fn hunt(opts: HuntOpts) -> ExitCode {
         job_deadline_secs,
         checkpoint,
         resume,
+        resume_lenient,
         store,
         no_cache,
         trace_dir,
     } = opts;
+    // An unwritable trace destination degrades to an untraced hunt — the
+    // campaign is the product, the trace is a diagnostic.
     let tracer = match &trace_dir {
         Some(dir) => {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("error: creating trace dir {}: {e}", dir.display());
-                return ExitCode::FAILURE;
-            }
-            match sb_obs::Tracer::jsonl(&dir.join("trace.jsonl")) {
+            let opened = std::fs::create_dir_all(dir)
+                .and_then(|()| sb_obs::Tracer::jsonl(&dir.join("trace.jsonl")));
+            match opened {
                 Ok(t) => t,
                 Err(e) => {
-                    eprintln!("error: opening trace sink in {}: {e}", dir.display());
-                    return ExitCode::FAILURE;
+                    eprintln!(
+                        "[trace] warning: cannot write trace events under {} ({e}); \
+                         tracing disabled for this run",
+                        dir.display()
+                    );
+                    sb_obs::Tracer::disabled()
                 }
             }
         }
@@ -260,6 +348,7 @@ fn hunt(opts: HuntOpts) -> ExitCode {
             },
             checkpoint: checkpoint.map(CheckpointCfg::new),
             resume_from: resume,
+            resume_lenient,
             fault_plan: Default::default(),
             tracer: tracer.clone(),
         },
@@ -291,12 +380,14 @@ fn hunt(opts: HuntOpts) -> ExitCode {
         quarantined: report.quarantined.len() as u64,
     });
     tracer.flush();
-    if let Some(dir) = &trace_dir {
-        eprintln!(
-            "[trace] events written to {}; inspect with `snowboard-cli trace report --trace-dir {}`",
-            dir.join("trace.jsonl").display(),
-            dir.display()
-        );
+    if tracer.enabled() {
+        if let Some(dir) = &trace_dir {
+            eprintln!(
+                "[trace] events written to {}; inspect with `snowboard-cli trace report --trace-dir {}`",
+                dir.join("trace.jsonl").display(),
+                dir.display()
+            );
+        }
     }
     println!(
         "tested {} PMCs in {} executions; {:.1}% exercised their predicted channel",

@@ -17,11 +17,23 @@ fn stdout(out: &Output) -> String {
     String::from_utf8_lossy(&out.stdout).into_owned()
 }
 
+/// An empty-but-valid store: what `Store::open` + `flush` leaves behind
+/// before any profiles are inserted.
+fn write_fresh_store(dir: &std::path::Path) {
+    std::fs::create_dir_all(dir).unwrap();
+    std::fs::write(
+        dir.join("manifest.json"),
+        r#"{"version":1,"next_segment":0,"last_hits":0,"last_misses":0,"profiles":{},"pmcs":[]}"#,
+    )
+    .unwrap();
+}
+
 #[test]
 fn store_stats_prints_zero_hit_rate_for_zero_lookups() {
     // A freshly created store has recorded no profile lookups; the hit rate
     // must print as 0.0%, not as a vacuous 100% or a special-cased message.
     let dir = scratch_dir("fresh-store");
+    write_fresh_store(&dir);
     let out = bin()
         .args(["store", "stats", "--store"])
         .arg(&dir)
@@ -32,6 +44,116 @@ fn store_stats_prints_zero_hit_rate_for_zero_lookups() {
     assert!(
         text.contains("profile-hit-rate 0.0% (0/0)"),
         "expected explicit 0.0% for 0/0, got:\n{text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn store_commands_reject_a_missing_or_empty_dir() {
+    // `Store::open` creates directories as a side effect; the inspection
+    // commands must not turn a typo'd path into a fresh store — they print
+    // one friendly line on stderr and exit nonzero.
+    let missing = scratch_dir("no-such-store");
+    for sub in ["stats", "fsck", "repair"] {
+        let out = bin()
+            .args(["store", sub, "--store"])
+            .arg(&missing)
+            .output()
+            .expect("run store subcommand");
+        assert!(!out.status.success(), "store {sub} on a missing dir must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("does not exist"),
+            "store {sub}: expected a friendly error, got: {err}"
+        );
+        assert!(!missing.exists(), "store {sub} must not create the directory");
+    }
+
+    // An existing directory that is not a store (no manifest) is also an
+    // error, not an empty report.
+    let empty = scratch_dir("empty-not-a-store");
+    std::fs::create_dir_all(&empty).unwrap();
+    let out = bin()
+        .args(["store", "stats", "--store"])
+        .arg(&empty)
+        .output()
+        .expect("run store stats");
+    assert!(!out.status.success(), "empty dir is not a store");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not a store"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&empty).ok();
+}
+
+#[test]
+fn store_fsck_and_repair_round_trip() {
+    let dir = scratch_dir("fsck-repair");
+    write_fresh_store(&dir);
+    let clean = bin()
+        .args(["store", "fsck", "--store"])
+        .arg(&dir)
+        .output()
+        .expect("run fsck");
+    assert!(clean.status.success(), "fresh store must fsck clean");
+    assert!(stdout(&clean).contains("store is clean"), "{}", stdout(&clean));
+
+    // A manifest entry pointing at a segment that no longer exists: fsck
+    // reports it and exits nonzero; repair drops it; fsck is clean again.
+    std::fs::write(
+        dir.join("manifest.json"),
+        r#"{"version":1,"next_segment":1,"last_hits":0,"last_misses":0,"profiles":{"42":{"status":"ok","segment":0,"offset":8,"len":5}},"pmcs":[]}"#,
+    )
+    .unwrap();
+    let dirty = bin()
+        .args(["store", "fsck", "--store"])
+        .arg(&dir)
+        .output()
+        .expect("run fsck");
+    assert!(!dirty.status.success(), "damage must make fsck exit nonzero");
+    assert!(stdout(&dirty).contains("store is dirty"), "{}", stdout(&dirty));
+
+    let repair = bin()
+        .args(["store", "repair", "--store"])
+        .arg(&dir)
+        .output()
+        .expect("run repair");
+    assert!(repair.status.success(), "stderr: {}", String::from_utf8_lossy(&repair.stderr));
+    assert!(stdout(&repair).contains("dropped 1 profile record(s)"), "{}", stdout(&repair));
+
+    let clean_again = bin()
+        .args(["store", "fsck", "--store"])
+        .arg(&dir)
+        .output()
+        .expect("run fsck");
+    assert!(clean_again.status.success(), "repair must leave a clean store");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hunt_survives_an_unwritable_trace_destination() {
+    // A trace dir whose path runs through a regular file can never be
+    // created (NotADirectory, even for root); the hunt must warn, disable
+    // tracing, and still complete the campaign.
+    let dir = scratch_dir("blocked-trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("occupied");
+    std::fs::write(&file, b"not a directory").unwrap();
+    let out = bin()
+        .args([
+            "hunt", "--corpus", "6", "--budget", "4", "--trials", "1", "--workers", "2",
+            "--seed", "3", "--trace-dir",
+        ])
+        .arg(file.join("trace"))
+        .output()
+        .expect("run hunt");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "hunt must not abort on a bad trace dir: {err}");
+    assert!(err.contains("tracing disabled"), "expected a one-time warning, got: {err}");
+    assert!(
+        !err.contains("events written"),
+        "must not claim a trace was written: {err}"
     );
     std::fs::remove_dir_all(&dir).ok();
 }

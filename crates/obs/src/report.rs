@@ -241,6 +241,8 @@ impl TraceReport {
             keys::INCIDENTAL_PMCS,
             keys::STORE_PROFILE_HITS,
             keys::STORE_PROFILE_MISSES,
+            keys::STORE_RECORDS_DAMAGED,
+            keys::STORE_RECORDS_HEALED,
             keys::WATCHDOG_FIRES,
             keys::RETRIES,
             keys::FINDINGS,

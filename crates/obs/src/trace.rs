@@ -15,7 +15,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -74,6 +74,10 @@ pub mod keys {
     pub const STORE_PROFILE_HITS: &str = "store.profile_hits";
     /// Profile lookups that missed the store.
     pub const STORE_PROFILE_MISSES: &str = "store.profile_misses";
+    /// Store records found corrupt, truncated, or missing (quarantined).
+    pub const STORE_RECORDS_DAMAGED: &str = "store.records_damaged";
+    /// Damaged store records recomputed and rewritten.
+    pub const STORE_RECORDS_HEALED: &str = "store.records_healed";
     /// Detector findings (pre-dedup), all kinds.
     pub const FINDINGS: &str = "detect.findings";
     /// Three-thread trials executed.
@@ -112,8 +116,14 @@ impl Sink for MemorySink {
 }
 
 /// An append-only JSONL file sink.
+///
+/// I/O failures (disk full, revoked permissions) must not abort the traced
+/// run: the first failure prints one stderr warning and permanently
+/// disables the sink — tracing degrades, the hunt continues.
 pub struct JsonlSink {
     writer: Mutex<BufWriter<File>>,
+    path: std::path::PathBuf,
+    failed: AtomicBool,
 }
 
 impl JsonlSink {
@@ -128,19 +138,47 @@ impl JsonlSink {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(JsonlSink {
             writer: Mutex::new(BufWriter::new(file)),
+            path: path.to_path_buf(),
+            failed: AtomicBool::new(false),
         })
+    }
+
+    /// True once a write failed and the sink disabled itself.
+    pub fn failed(&self) -> bool {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    fn disable(&self, what: &str, e: &std::io::Error) {
+        if !self.failed.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "[trace] warning: {what} {} failed ({e}); tracing disabled for the rest of the run",
+                self.path.display()
+            );
+        }
     }
 }
 
 impl Sink for JsonlSink {
     fn emit(&self, line: &str) {
+        if self.failed() {
+            return;
+        }
         let mut w = self.writer.lock().expect("jsonl sink poisoned");
-        let _ = w.write_all(line.as_bytes());
-        let _ = w.write_all(b"\n");
+        if let Err(e) = w
+            .write_all(line.as_bytes())
+            .and_then(|()| w.write_all(b"\n"))
+        {
+            self.disable("writing", &e);
+        }
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+        if self.failed() {
+            return;
+        }
+        if let Err(e) = self.writer.lock().expect("jsonl sink poisoned").flush() {
+            self.disable("flushing", &e);
+        }
     }
 }
 
@@ -379,6 +417,31 @@ mod tests {
         assert_ne!(a.id(), b.id(), "span ids unique across clones");
         drop((a, b));
         assert_eq!(sink.lines().len(), 4);
+    }
+
+    /// A sink whose disk fills up degrades: one warning, then silence —
+    /// never a panic or an error surfaced to the traced run.
+    #[test]
+    fn jsonl_sink_disables_itself_on_write_failure() {
+        // /dev/full accepts opens but fails every flush with ENOSPC.
+        let full = Path::new("/dev/full");
+        if !full.exists() {
+            return; // non-Linux fallback: nothing to exercise
+        }
+        let file = OpenOptions::new().append(true).open(full).expect("open /dev/full");
+        let sink = JsonlSink {
+            writer: Mutex::new(BufWriter::with_capacity(8, file)),
+            path: full.to_path_buf(),
+            failed: AtomicBool::new(false),
+        };
+        assert!(!sink.failed());
+        // Small buffer forces the underlying write on the first long line.
+        sink.emit("{\"t\":0,\"ev\":\"count\",\"key\":\"k\",\"n\":1}");
+        sink.flush();
+        assert!(sink.failed(), "ENOSPC must latch the failed flag");
+        // Subsequent emits are no-ops, not panics.
+        sink.emit("more");
+        sink.flush();
     }
 
     #[test]

@@ -77,6 +77,10 @@ pub struct CampaignCfg {
     pub checkpoint: Option<CheckpointCfg>,
     /// Resume from this checkpoint file: jobs it covers are not re-run.
     pub resume_from: Option<PathBuf>,
+    /// Lenient resume (`--resume-or-fresh`): a missing, corrupt, or
+    /// mismatched checkpoint logs a warning and starts fresh instead of
+    /// aborting the campaign.
+    pub resume_lenient: bool,
     /// Scripted fault injection (empty in production).
     pub fault_plan: FaultPlan,
     /// Structured tracer; disabled by default. When enabled, the campaign
@@ -98,6 +102,7 @@ impl Default for CampaignCfg {
             budget: JobBudget::default(),
             checkpoint: None,
             resume_from: None,
+            resume_lenient: false,
             fault_plan: FaultPlan::default(),
             tracer: sb_obs::Tracer::disabled(),
         }
@@ -545,9 +550,19 @@ pub fn run_campaign(
 
     let mut cp = match &cfg.resume_from {
         Some(path) => {
-            let cp = Checkpoint::load(path)?;
-            cp.validate(cfg.seed, &budgeted)?;
-            cp
+            let loaded = Checkpoint::load(path)
+                .and_then(|cp| cp.validate(cfg.seed, &budgeted).map(|()| cp));
+            match loaded {
+                Ok(cp) => cp,
+                Err(e) if cfg.resume_lenient => {
+                    eprintln!(
+                        "[campaign] warning: ignoring unusable checkpoint {}: {e} — starting fresh",
+                        path.display()
+                    );
+                    Checkpoint::begin(cfg.seed, &budgeted)
+                }
+                Err(e) => return Err(e),
+            }
         }
         None => Checkpoint::begin(cfg.seed, &budgeted),
     };

@@ -58,6 +58,11 @@ pub struct StoreStats {
     /// Max-over-mean shard load during identification; 1.0 is perfectly
     /// balanced, 0.0 when no sharded join ran.
     pub shard_skew: f64,
+    /// Records found corrupt, truncated, or missing this run and
+    /// quarantined (served as misses instead of failing the campaign).
+    pub records_damaged: u64,
+    /// Of the damaged records, how many were recomputed and rewritten.
+    pub records_healed: u64,
 }
 
 impl StoreStats {

@@ -1,0 +1,78 @@
+//! Deterministic disk-fault injection for the store.
+//!
+//! Mirrors `snowboard::FaultPlan`: plain data, always compiled in, empty by
+//! default (and checked with one cheap branch per site). Tests aim faults
+//! at exact byte positions, so crash-consistency claims are exercised at
+//! every boundary instead of whenever the OS feels like tearing a write.
+
+use std::collections::BTreeSet;
+
+/// A deterministic plan of disk faults to inject into one [`crate::Store`].
+///
+/// * `torn_write_after` — the next segment write stops after this many
+///   record-area bytes (the magic always lands) and fails as if the process
+///   had been killed mid-`insert_profiles`: the partial file is synced to
+///   disk and the manifest is never updated.
+/// * `flip_after_write` — after the next segment write completes, XOR the
+///   mask into the byte at the absolute file offset: silent media
+///   corruption that only checksum verification can catch.
+/// * `short_read_keys` — record reads for these content keys behave as if
+///   the file ended one byte early (a short read), so the lookup must
+///   degrade to `Damaged` rather than serve a partial payload.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiskFaultPlan {
+    /// One-shot: cut the next segment write after N record-area bytes.
+    pub torn_write_after: Option<u64>,
+    /// One-shot: XOR `(offset, mask)` into the next finished segment file.
+    pub flip_after_write: Option<(u64, u8)>,
+    /// Persistent: keys whose record reads come up short.
+    pub short_read_keys: BTreeSet<u64>,
+}
+
+impl DiskFaultPlan {
+    /// True when no fault is armed (the default; the hot path checks this).
+    pub fn is_empty(&self) -> bool {
+        self.torn_write_after.is_none()
+            && self.flip_after_write.is_none()
+            && self.short_read_keys.is_empty()
+    }
+
+    /// Consumes the one-shot torn-write cutoff, if armed.
+    pub(crate) fn take_torn_write(&mut self) -> Option<u64> {
+        self.torn_write_after.take()
+    }
+
+    /// Consumes the one-shot post-write bit flip, if armed.
+    pub(crate) fn take_flip(&mut self) -> Option<(u64, u8)> {
+        self.flip_after_write.take()
+    }
+
+    /// Whether reads of `key` should come up short.
+    pub(crate) fn short_read(&self, key: u64) -> bool {
+        !self.short_read_keys.is_empty() && self.short_read_keys.contains(&key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty_and_one_shots_disarm() {
+        let mut plan = DiskFaultPlan::default();
+        assert!(plan.is_empty());
+        assert_eq!(plan.take_torn_write(), None);
+
+        plan.torn_write_after = Some(5);
+        plan.flip_after_write = Some((8, 0x01));
+        plan.short_read_keys.insert(42);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.take_torn_write(), Some(5));
+        assert_eq!(plan.take_torn_write(), None, "one-shot");
+        assert_eq!(plan.take_flip(), Some((8, 0x01)));
+        assert_eq!(plan.take_flip(), None, "one-shot");
+        assert!(plan.short_read(42));
+        assert!(!plan.short_read(41));
+        assert!(plan.short_read(42), "short reads persist");
+    }
+}

@@ -16,16 +16,26 @@
 //! * **Incremental re-indexing** ([`pipeline`]) — a grown corpus resumes
 //!   the stored PMC set (`JoinState::resume`) and joins only the new
 //!   profiles; an unchanged corpus loads the stored set outright.
+//! * **Self-healing durability** ([`crc`], [`fsck`], [`fault`]) — every v2
+//!   record carries a CRC32C, writers fsync before the manifest can
+//!   reference them, opening truncates torn tails, and damaged records
+//!   degrade to recompute-and-heal instead of failing the campaign.
 //!
-//! See DESIGN.md §9 for the format and the merge-determinism argument.
+//! See DESIGN.md §9 for the format and the merge-determinism argument, and
+//! §11 for the durability and degradation model.
 
 pub mod codec;
+pub mod crc;
+pub mod fault;
+pub mod fsck;
 pub mod manifest;
 pub mod pipeline;
 pub mod segment;
 pub mod store;
 pub mod varint;
 
+pub use fault::DiskFaultPlan;
+pub use fsck::{fsck, repair, FsckReport, RepairReport};
 pub use pipeline::prepare;
 pub use store::{corpus_key, profile_key, PmcLookup, ProfileLookup, SegmentStats, Store};
 
@@ -52,6 +62,8 @@ pub enum Error {
         /// What was wrong.
         detail: String,
     },
+    /// A deterministic fault injected by a [`DiskFaultPlan`] (tests only).
+    Injected(&'static str),
 }
 
 impl std::fmt::Display for Error {
@@ -65,6 +77,7 @@ impl std::fmt::Display for Error {
             Error::Format { path, detail } => {
                 write!(f, "invalid store file {}: {detail}", path.display())
             }
+            Error::Injected(what) => write!(f, "injected disk fault: {what}"),
         }
     }
 }

@@ -6,6 +6,10 @@
 //! executed, and PMC identification reuses a stored set — whole on an exact
 //! corpus match, incrementally grown on a prefix match, rebuilt with the
 //! sharded parallel path otherwise.
+//!
+//! Store damage never aborts preparation: `Damaged` lookups are treated as
+//! misses, recomputed, and rewritten — so a run against a corrupted store
+//! produces results bit-identical to a cold run, plus healed records.
 
 use std::time::Instant;
 
@@ -49,7 +53,9 @@ pub fn prepare(
         match store.lookup_profile(keys[i], i as u32)? {
             ProfileLookup::Hit(p) => slots[i] = Some(Some(p)),
             ProfileLookup::FailedCached => slots[i] = Some(None),
-            ProfileLookup::Miss => jobs.push((i as u32, prog.clone())),
+            // Damaged records are quarantined misses: the recompute below
+            // rewrites them, healing the store as a side effect.
+            ProfileLookup::Miss | ProfileLookup::Damaged => jobs.push((i as u32, prog.clone())),
         }
     }
     let fresh = profile::profile_jobs_traced(&booted, jobs, cfg.workers, &tracer);
@@ -89,7 +95,9 @@ pub fn prepare(
             shard_report = Some(st.add_profiles(&new, identify));
             st.into_set()
         }
-        PmcLookup::Miss => {
+        // A damaged PMC record rebuilds like a miss; the save below heals
+        // the entry.
+        PmcLookup::Miss | PmcLookup::Damaged => {
             let mut st = JoinState::new();
             shard_report = Some(st.add_profiles(&profiles, identify));
             st.into_set()
@@ -104,6 +112,8 @@ pub fn prepare(
 
     tracer.count(trace_keys::STORE_PROFILE_HITS, store.profile_hits);
     tracer.count(trace_keys::STORE_PROFILE_MISSES, store.profile_misses);
+    tracer.count(trace_keys::STORE_RECORDS_DAMAGED, store.records_damaged);
+    tracer.count(trace_keys::STORE_RECORDS_HEALED, store.records_healed);
     tracer.count(trace_keys::PIPELINE_PROFILES, profiles.len() as u64);
     tracer.count(
         trace_keys::PIPELINE_SHARED_ACCESSES,
@@ -122,6 +132,8 @@ pub fn prepare(
         stored_bytes: seg_stats.bytes,
         shards: identify.shards as u64,
         shard_skew: shard_report.as_ref().map_or(0.0, |r| r.skew()),
+        records_damaged: store.records_damaged,
+        records_healed: store.records_healed,
     };
     let stats = PrepStats {
         fuzz_executed: fuzz_stats.executed,

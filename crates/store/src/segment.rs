@@ -6,18 +6,58 @@
 //! record. Each record embeds its content key so a stale or rewritten
 //! manifest cannot silently serve the wrong payload.
 //!
-//! Layout: 8-byte magic, then records of `[key: u64 LE][len: u32 LE][payload]`.
+//! Format v2 (`SBSEG002`/`SBPMC002`): 8-byte magic, then records of
+//! `[key: u64 LE][len: u32 LE][crc: u32 LE][payload]` where `crc` is
+//! CRC32C over `key‖len‖payload`. Format v1 (`SBSEG001`/`SBPMC001`) lacks
+//! the crc word and is still readable — checksum-less — for stores written
+//! before the upgrade.
+//!
+//! Writers fsync on [`SegmentWriter::finish`], so a completed segment is
+//! durable before the manifest can reference it; [`scan`] classifies a
+//! file's valid record prefix so the store can truncate torn tails left by
+//! a crash mid-write.
 
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use crate::crc::Crc32c;
 use crate::Error;
 
-/// Magic prefix of profile segment files.
-pub const PROFILE_MAGIC: &[u8; 8] = b"SBSEG001";
-/// Magic prefix of PMC-set segment files.
-pub const PMC_MAGIC: &[u8; 8] = b"SBPMC001";
+/// Magic prefix of v2 (checksummed) profile segment files.
+pub const PROFILE_MAGIC: &[u8; 8] = b"SBSEG002";
+/// Magic prefix of v2 (checksummed) PMC-set segment files.
+pub const PMC_MAGIC: &[u8; 8] = b"SBPMC002";
+/// Magic prefix of v1 (checksum-less) profile segment files.
+pub const PROFILE_MAGIC_V1: &[u8; 8] = b"SBSEG001";
+/// Magic prefix of v1 (checksum-less) PMC-set segment files.
+pub const PMC_MAGIC_V1: &[u8; 8] = b"SBPMC001";
+
+/// What a segment file stores; selects which magics are acceptable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SegmentKind {
+    /// Sequential-test profiles (`seg-<n>.bin`).
+    Profile,
+    /// PMC sets (`pmc-<n>.bin`).
+    Pmc,
+}
+
+/// Record header size of the given format version.
+pub fn header_len(version: u8) -> u64 {
+    match version {
+        1 => 12, // key + len
+        _ => 16, // key + len + crc
+    }
+}
+
+/// CRC32C over `key‖len‖payload` — the integrity scope of one v2 record.
+pub fn record_crc(key: u64, payload: &[u8]) -> u32 {
+    let mut c = Crc32c::new();
+    c.update(&key.to_le_bytes());
+    c.update(&(payload.len() as u32).to_le_bytes());
+    c.update(payload);
+    c.finish()
+}
 
 fn io_err<'a>(op: &'static str, path: &'a Path) -> impl FnOnce(std::io::Error) -> Error + 'a {
     move |source| Error::Io {
@@ -27,11 +67,13 @@ fn io_err<'a>(op: &'static str, path: &'a Path) -> impl FnOnce(std::io::Error) -
     }
 }
 
-/// Writes one segment file record by record.
+/// Writes one (always v2) segment file record by record.
 pub struct SegmentWriter {
     file: File,
     path: PathBuf,
     offset: u64,
+    /// Record-area bytes still writable before an injected torn write.
+    torn_budget: Option<u64>,
 }
 
 impl SegmentWriter {
@@ -43,7 +85,14 @@ impl SegmentWriter {
             file,
             path: path.to_path_buf(),
             offset: magic.len() as u64,
+            torn_budget: None,
         })
+    }
+
+    /// Arms an injected torn write: appends stop after `record_bytes` bytes
+    /// past the magic, as if the process were killed mid-write.
+    pub fn set_torn_after(&mut self, record_bytes: u64) {
+        self.torn_budget = Some(record_bytes);
     }
 
     /// Appends one record; returns its `(offset, payload_len)` address.
@@ -51,19 +100,44 @@ impl SegmentWriter {
         let offset = self.offset;
         let len = u32::try_from(payload.len())
             .map_err(|_| Error::Corrupt("record payload exceeds u32 bytes"))?;
+        let mut record = Vec::with_capacity(16 + payload.len());
+        record.extend_from_slice(&key.to_le_bytes());
+        record.extend_from_slice(&len.to_le_bytes());
+        record.extend_from_slice(&record_crc(key, payload).to_le_bytes());
+        record.extend_from_slice(payload);
+        if let Some(budget) = self.torn_budget {
+            let remaining = budget.saturating_sub(offset - 8);
+            if remaining < record.len() as u64 {
+                // Persist exactly the torn prefix, like a crash would.
+                self.file
+                    .write_all(&record[..remaining as usize])
+                    .and_then(|()| self.file.sync_all())
+                    .map_err(io_err("write", &self.path))?;
+                return Err(Error::Injected("torn write"));
+            }
+        }
         self.file
-            .write_all(&key.to_le_bytes())
-            .and_then(|()| self.file.write_all(&len.to_le_bytes()))
-            .and_then(|()| self.file.write_all(payload))
+            .write_all(&record)
             .map_err(io_err("write", &self.path))?;
-        self.offset += 8 + 4 + u64::from(len);
+        self.offset += record.len() as u64;
         Ok((offset, u64::from(len)))
     }
 
-    /// Flushes and returns the total file size in bytes.
+    /// Flushes, fsyncs, and returns the total file size in bytes. A
+    /// finished segment is durable before the caller references it from
+    /// the manifest.
     pub fn finish(mut self) -> Result<u64, Error> {
         self.file.flush().map_err(io_err("flush", &self.path))?;
+        self.file.sync_all().map_err(io_err("fsync", &self.path))?;
         Ok(self.offset)
+    }
+}
+
+/// Fsyncs a directory so created/renamed entries within it are durable.
+/// Best-effort: filesystems that reject directory fsync are tolerated.
+pub fn sync_dir(dir: &Path) {
+    if let Ok(f) = File::open(dir) {
+        let _ = f.sync_all();
     }
 }
 
@@ -82,14 +156,32 @@ pub fn check_magic(path: &Path, magic: &[u8; 8]) -> Result<(), Error> {
 }
 
 /// Reads the record at `(offset, len)` in `path`, verifying its embedded
-/// content key matches `expected_key`.
-pub fn read_record(path: &Path, offset: u64, len: u64, expected_key: u64) -> Result<Vec<u8>, Error> {
+/// content key matches `expected_key` and — for v2 segments — its CRC32C.
+///
+/// `version` selects the header layout (1 = checksum-less). `eof_at`
+/// simulates a short read: bytes at or past that file offset are treated
+/// as missing.
+pub fn read_record(
+    path: &Path,
+    offset: u64,
+    len: u64,
+    expected_key: u64,
+    version: u8,
+    eof_at: Option<u64>,
+) -> Result<Vec<u8>, Error> {
+    let header = header_len(version);
+    if let Some(eof) = eof_at {
+        if offset + header + len > eof {
+            return Err(Error::Truncated);
+        }
+    }
     let mut file = File::open(path).map_err(io_err("open", path))?;
     file.seek(SeekFrom::Start(offset)).map_err(io_err("seek", path))?;
-    let mut header = [0u8; 12];
-    file.read_exact(&mut header).map_err(io_err("read", path))?;
-    let key = u64::from_le_bytes(header[..8].try_into().expect("8-byte slice"));
-    let stored_len = u32::from_le_bytes(header[8..].try_into().expect("4-byte slice"));
+    let mut head = [0u8; 16];
+    file.read_exact(&mut head[..header as usize])
+        .map_err(io_err("read", path))?;
+    let key = u64::from_le_bytes(head[..8].try_into().expect("8-byte slice"));
+    let stored_len = u32::from_le_bytes(head[8..12].try_into().expect("4-byte slice"));
     if key != expected_key {
         return Err(Error::Format {
             path: path.to_path_buf(),
@@ -104,7 +196,142 @@ pub fn read_record(path: &Path, offset: u64, len: u64, expected_key: u64) -> Res
     }
     let mut payload = vec![0u8; stored_len as usize];
     file.read_exact(&mut payload).map_err(io_err("read", path))?;
+    if version >= 2 {
+        let stored_crc = u32::from_le_bytes(head[12..16].try_into().expect("4-byte slice"));
+        if stored_crc != record_crc(key, &payload) {
+            return Err(Error::Format {
+                path: path.to_path_buf(),
+                detail: format!("checksum mismatch for record {key:#x} at offset {offset}"),
+            });
+        }
+    }
     Ok(payload)
+}
+
+/// One structurally valid record found by [`scan`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScannedRecord {
+    /// Embedded content key.
+    pub key: u64,
+    /// Record offset within the file.
+    pub offset: u64,
+    /// Payload length.
+    pub len: u64,
+    /// CRC32C verdict (always true for v1 records — nothing to check).
+    pub crc_ok: bool,
+}
+
+/// Structural classification of one segment file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentScan {
+    /// Format version: 1, 2, or 0 when the magic is unrecognized.
+    pub version: u8,
+    /// Total file length in bytes.
+    pub file_len: u64,
+    /// Length of the valid record prefix (including the magic). Records
+    /// past this point are torn: a partial header, a payload running past
+    /// EOF, or a final record whose CRC fails at EOF.
+    pub valid_len: u64,
+    /// Records within the valid prefix, in file order.
+    pub records: Vec<ScannedRecord>,
+}
+
+impl SegmentScan {
+    /// Bytes of torn tail past the valid prefix.
+    pub fn torn_bytes(&self) -> u64 {
+        self.file_len - self.valid_len
+    }
+}
+
+/// Walks every record of the segment at `path`, classifying the valid
+/// prefix and any torn tail. `Err` only for real I/O failures — damage is
+/// data, not an error.
+pub fn scan(path: &Path, kind: SegmentKind) -> Result<SegmentScan, Error> {
+    let bytes = std::fs::read(path).map_err(io_err("read", path))?;
+    let file_len = bytes.len() as u64;
+    let version = if bytes.len() < 8 {
+        0
+    } else {
+        let magic: &[u8] = &bytes[..8];
+        match kind {
+            SegmentKind::Profile if magic == PROFILE_MAGIC => 2,
+            SegmentKind::Profile if magic == PROFILE_MAGIC_V1 => 1,
+            SegmentKind::Pmc if magic == PMC_MAGIC => 2,
+            SegmentKind::Pmc if magic == PMC_MAGIC_V1 => 1,
+            _ => 0,
+        }
+    };
+    if version == 0 {
+        // Unrecognized or truncated magic: no valid prefix at all.
+        return Ok(SegmentScan {
+            version,
+            file_len,
+            valid_len: 0,
+            records: Vec::new(),
+        });
+    }
+    let header = header_len(version) as usize;
+    let mut records = Vec::new();
+    let mut pos = 8usize;
+    while bytes.len() - pos >= header {
+        let key = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8-byte slice"));
+        let len = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("4-byte slice"));
+        let Some(end) = (pos + header).checked_add(len as usize) else {
+            break; // length overflows: treat as torn
+        };
+        if end > bytes.len() {
+            break; // payload runs past EOF: torn
+        }
+        let crc_ok = version == 1 || {
+            let stored = u32::from_le_bytes(bytes[pos + 12..pos + 16].try_into().expect("4-byte slice"));
+            let mut c = Crc32c::new();
+            c.update(&bytes[pos..pos + 12]);
+            c.update(&bytes[pos + header..end]);
+            stored == c.finish()
+        };
+        records.push(ScannedRecord {
+            key,
+            offset: pos as u64,
+            len: u64::from(len),
+            crc_ok,
+        });
+        pos = end;
+    }
+    // A final record with a bad CRC that runs to EOF is a torn write whose
+    // length field survived: drop it from the valid prefix too.
+    if pos == bytes.len() {
+        if let Some(last) = records.last() {
+            if !last.crc_ok {
+                pos = last.offset as usize;
+                records.pop();
+            }
+        }
+    }
+    Ok(SegmentScan {
+        version,
+        file_len,
+        valid_len: pos as u64,
+        records,
+    })
+}
+
+/// Physically truncates the segment at `path` to its valid prefix.
+/// Best-effort (a read-only store still opens); returns whether bytes were
+/// actually removed.
+pub fn truncate_torn_tail(path: &Path, scan: &SegmentScan) -> bool {
+    if scan.version == 0 || scan.torn_bytes() == 0 {
+        return false;
+    }
+    match std::fs::OpenOptions::new().write(true).open(path) {
+        Ok(file) => {
+            let ok = file.set_len(scan.valid_len).is_ok();
+            if ok {
+                let _ = file.sync_all();
+            }
+            ok
+        }
+        Err(_) => false,
+    }
 }
 
 #[cfg(test)]
@@ -127,8 +354,8 @@ mod tests {
         let total = w.finish().expect("finish");
         assert_eq!(total, std::fs::metadata(&path).expect("meta").len());
         check_magic(&path, PROFILE_MAGIC).expect("magic");
-        assert_eq!(read_record(&path, o1, l1, 0xAAAA).expect("r1"), b"first payload");
-        assert_eq!(read_record(&path, o2, l2, 0xBBBB).expect("r2"), b"second");
+        assert_eq!(read_record(&path, o1, l1, 0xAAAA, 2, None).expect("r1"), b"first payload");
+        assert_eq!(read_record(&path, o2, l2, 0xBBBB, 2, None).expect("r2"), b"second");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -139,9 +366,122 @@ mod tests {
         let mut w = SegmentWriter::create(&path, PROFILE_MAGIC).expect("create");
         let (o, l) = w.append(7, b"payload").expect("append");
         w.finish().expect("finish");
-        assert!(matches!(read_record(&path, o, l, 8), Err(Error::Format { .. })));
-        assert!(matches!(read_record(&path, o, l + 1, 7), Err(Error::Format { .. })));
+        assert!(matches!(read_record(&path, o, l, 8, 2, None), Err(Error::Format { .. })));
+        assert!(matches!(read_record(&path, o, l + 1, 7, 2, None), Err(Error::Format { .. })));
         assert!(check_magic(&path, PMC_MAGIC).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crc_catches_payload_corruption() {
+        let dir = tmpdir("crc");
+        let path = dir.join("seg-0.bin");
+        let mut w = SegmentWriter::create(&path, PROFILE_MAGIC).expect("create");
+        let (o, l) = w.append(9, b"checksummed payload").expect("append");
+        w.finish().expect("finish");
+        let mut bytes = std::fs::read(&path).expect("read");
+        let payload_start = (o + 16) as usize;
+        bytes[payload_start] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        match read_record(&path, o, l, 9, 2, None) {
+            Err(Error::Format { detail, .. }) => assert!(detail.contains("checksum")),
+            other => panic!("expected checksum failure, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn short_read_injection_reports_truncation() {
+        let dir = tmpdir("short");
+        let path = dir.join("seg-0.bin");
+        let mut w = SegmentWriter::create(&path, PROFILE_MAGIC).expect("create");
+        let (o, l) = w.append(5, b"payload").expect("append");
+        let total = w.finish().expect("finish");
+        assert!(matches!(
+            read_record(&path, o, l, 5, 2, Some(total - 1)),
+            Err(Error::Truncated)
+        ));
+        assert!(read_record(&path, o, l, 5, 2, Some(total)).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_records_read_checksum_less() {
+        let dir = tmpdir("v1");
+        let path = dir.join("seg-0.bin");
+        // Hand-write a v1 segment: magic + [key][len][payload].
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(PROFILE_MAGIC_V1);
+        bytes.extend_from_slice(&0xCAFEu64.to_le_bytes());
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        bytes.extend_from_slice(b"oldbits");
+        std::fs::write(&path, &bytes).expect("write");
+        assert_eq!(read_record(&path, 8, 7, 0xCAFE, 1, None).expect("v1 read"), b"oldbits");
+        let scan = scan(&path, SegmentKind::Profile).expect("scan");
+        assert_eq!(scan.version, 1);
+        assert_eq!(scan.torn_bytes(), 0);
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.records[0].crc_ok, "v1 records have nothing to check");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_classifies_torn_tails_and_bad_magic() {
+        let dir = tmpdir("scan");
+        let path = dir.join("seg-0.bin");
+        let mut w = SegmentWriter::create(&path, PROFILE_MAGIC).expect("create");
+        w.append(1, b"first").expect("append");
+        let (o2, _) = w.append(2, b"second record").expect("append");
+        let total = w.finish().expect("finish");
+
+        let full = scan(&path, SegmentKind::Profile).expect("scan");
+        assert_eq!(full.version, 2);
+        assert_eq!(full.valid_len, total);
+        assert_eq!(full.records.len(), 2);
+        assert!(full.records.iter().all(|r| r.crc_ok));
+
+        // Cut mid-payload of the second record: torn tail back to o2.
+        let bytes = std::fs::read(&path).expect("read");
+        for cut in (o2 + 1)..total {
+            std::fs::write(&path, &bytes[..cut as usize]).expect("cut");
+            let s = scan(&path, SegmentKind::Profile).expect("scan");
+            assert_eq!(s.valid_len, o2, "cut at {cut}");
+            assert_eq!(s.records.len(), 1);
+            assert!(s.torn_bytes() > 0);
+            assert!(truncate_torn_tail(&path, &s));
+            let healed = scan(&path, SegmentKind::Profile).expect("rescan");
+            assert_eq!(healed.torn_bytes(), 0);
+            std::fs::write(&path, &bytes).expect("restore");
+        }
+
+        // Bad CRC on the final record at EOF is torn too.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        std::fs::write(&path, &flipped).expect("flip");
+        let s = scan(&path, SegmentKind::Profile).expect("scan");
+        assert_eq!(s.valid_len, o2, "bad CRC at EOF drops the final record");
+
+        // Unrecognized magic: nothing valid.
+        std::fs::write(&path, b"NOTMAGICxxxx").expect("garbage");
+        let s = scan(&path, SegmentKind::Profile).expect("scan");
+        assert_eq!((s.version, s.valid_len), (0, 0));
+        assert!(!truncate_torn_tail(&path, &s), "never truncate unrecognized files");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_write_injection_persists_exact_prefix() {
+        let dir = tmpdir("torn");
+        let bytes_of = |path: &Path| std::fs::read(path).expect("read").len() as u64;
+        for cut in 0..30u64 {
+            let path = dir.join(format!("seg-{cut}.bin"));
+            let mut w = SegmentWriter::create(&path, PROFILE_MAGIC).expect("create");
+            w.set_torn_after(cut);
+            let err = w.append(3, b"torn-payload..").expect_err("torn");
+            assert!(matches!(err, Error::Injected(_)));
+            assert_eq!(bytes_of(&path), 8 + cut, "magic plus exactly {cut} bytes");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -5,8 +5,15 @@
 //! hashes of instruction names, so profiles and PMC sets persisted by one
 //! process match those of any other — nothing in a record depends on
 //! process-local interning state.
+//!
+//! Cached state is *advisory*: damage (bit flips, torn tails, missing
+//! segments) surfaces as [`ProfileLookup::Damaged`]/[`PmcLookup::Damaged`],
+//! never as an error, and the pipeline recomputes and heals it. Opening a
+//! store truncates torn segment tails left by a crash and adopts intact
+//! orphan records the manifest missed, so a kill mid-`insert_profiles`
+//! costs at most the interrupted batch.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 use sb_kernel::{KernelConfig, Program};
@@ -14,8 +21,9 @@ use snowboard::pmc::PmcSet;
 use snowboard::profile::SeqProfile;
 
 use crate::codec;
+use crate::fault::DiskFaultPlan;
 use crate::manifest::{Manifest, PmcEntry, ProfileStatus};
-use crate::segment::{self, SegmentWriter, PMC_MAGIC, PROFILE_MAGIC};
+use crate::segment::{self, SegmentKind, SegmentWriter, PMC_MAGIC, PROFILE_MAGIC};
 use crate::Error;
 
 /// FNV-1a over a byte string.
@@ -54,6 +62,10 @@ pub enum ProfileLookup {
     FailedCached,
     /// Not in the store (or reads disabled); profile it.
     Miss,
+    /// The manifest points at a record that is corrupt, truncated, or
+    /// missing. Quarantined: treat as a miss, recompute, and the rewrite
+    /// heals the entry.
+    Damaged,
 }
 
 /// Result of a PMC-set lookup against a corpus key list.
@@ -67,6 +79,9 @@ pub enum PmcLookup {
     Prefix(PmcSet, usize),
     /// Nothing reusable stored.
     Miss,
+    /// Every reusable candidate was corrupt, truncated, or missing.
+    /// Quarantined: rebuild from scratch; the save heals the entry.
+    Damaged,
 }
 
 /// Size statistics of the on-disk store.
@@ -78,36 +93,100 @@ pub struct SegmentStats {
     pub bytes: u64,
 }
 
+/// What `Store::open` learned about one segment file.
+#[derive(Clone, Copy, Debug)]
+struct SegMeta {
+    /// Format version (0 = unrecognized magic: fully damaged).
+    version: u8,
+    /// Valid record prefix length; addresses past this are damaged.
+    valid_len: u64,
+}
+
 /// A persistent profile/PMC store rooted at one directory.
 pub struct Store {
     root: PathBuf,
     manifest: Manifest,
     read_cache: bool,
+    /// Per-segment scan results from open (and this run's writes).
+    seg_meta: BTreeMap<u64, SegMeta>,
+    pmc_meta: BTreeMap<u64, SegMeta>,
+    /// Injected disk faults (empty by default).
+    fault: DiskFaultPlan,
+    /// Profile keys whose records were found damaged this run.
+    damaged_keys: BTreeSet<u64>,
+    /// Corpus keys of PMC entries found damaged this run.
+    damaged_pmc_corpora: BTreeSet<u64>,
     /// Profile lookups served from the store this run.
     pub profile_hits: u64,
     /// Profile lookups that missed this run.
     pub profile_misses: u64,
     /// Of the hits, cached sequential failures.
     pub failed_cached: u64,
+    /// Records found corrupt, truncated, or missing this run.
+    pub records_damaged: u64,
+    /// Damaged records recomputed and rewritten this run.
+    pub records_healed: u64,
 }
 
 impl Store {
     /// Opens (or initializes) the store in `root`, creating the directory
-    /// if needed.
+    /// if needed. Scans every segment file, truncates torn tails left by a
+    /// crash, and reconciles the manifest with surviving records (intact
+    /// records the manifest missed are adopted).
     pub fn open(root: &Path) -> Result<Store, Error> {
         std::fs::create_dir_all(root).map_err(|source| Error::Io {
             op: "create-dir",
             path: root.to_path_buf(),
             source,
         })?;
-        let manifest = Manifest::load(&root.join("manifest.json"))?;
+        let mut manifest = Manifest::load(&root.join("manifest.json"))?;
+        let mut seg_meta = BTreeMap::new();
+        let mut pmc_meta = BTreeMap::new();
+        let mut max_seen: Option<u64> = None;
+        for (name, kind, n) in list_segment_files(root)? {
+            let path = root.join(&name);
+            let scan = segment::scan(&path, kind)?;
+            if scan.torn_bytes() > 0 {
+                segment::truncate_torn_tail(&path, &scan);
+            }
+            if kind == SegmentKind::Profile {
+                // Adopt intact records the manifest missed (a crash after
+                // the segment fsync but before the manifest write).
+                for rec in &scan.records {
+                    if rec.crc_ok && !manifest.profiles.contains_key(&rec.key) {
+                        manifest.profiles.insert(
+                            rec.key,
+                            ProfileStatus::Ok { segment: n, offset: rec.offset, len: rec.len },
+                        );
+                    }
+                }
+            }
+            let meta = SegMeta { version: scan.version, valid_len: scan.valid_len };
+            match kind {
+                SegmentKind::Profile => seg_meta.insert(n, meta),
+                SegmentKind::Pmc => pmc_meta.insert(n, meta),
+            };
+            max_seen = Some(max_seen.map_or(n, |m| m.max(n)));
+        }
+        // Never reuse a segment number an on-disk file already claims, even
+        // if the manifest never learned about it.
+        if let Some(m) = max_seen {
+            manifest.next_segment = manifest.next_segment.max(m + 1);
+        }
         Ok(Store {
             root: root.to_path_buf(),
             manifest,
             read_cache: true,
+            seg_meta,
+            pmc_meta,
+            fault: DiskFaultPlan::default(),
+            damaged_keys: BTreeSet::new(),
+            damaged_pmc_corpora: BTreeSet::new(),
             profile_hits: 0,
             profile_misses: 0,
             failed_cached: 0,
+            records_damaged: 0,
+            records_healed: 0,
         })
     }
 
@@ -115,6 +194,11 @@ impl Store {
     /// results are still written back.
     pub fn set_read_cache(&mut self, enabled: bool) {
         self.read_cache = enabled;
+    }
+
+    /// Arms a deterministic disk-fault plan (tests only; empty by default).
+    pub fn set_fault_plan(&mut self, plan: DiskFaultPlan) {
+        self.fault = plan;
     }
 
     /// The store's root directory.
@@ -141,8 +225,36 @@ impl Store {
         self.root.join(format!("pmc-{n:04}.bin"))
     }
 
+    /// Reads and verifies one record, honoring scan results and injected
+    /// short reads. Any failure means the record is damaged.
+    fn read_verified(
+        &self,
+        kind: SegmentKind,
+        seg_no: u64,
+        offset: u64,
+        len: u64,
+        key: u64,
+    ) -> Result<Vec<u8>, Error> {
+        let (meta, path) = match kind {
+            SegmentKind::Profile => (self.seg_meta.get(&seg_no), self.segment_path(seg_no)),
+            SegmentKind::Pmc => (self.pmc_meta.get(&seg_no), self.pmc_path(seg_no)),
+        };
+        // No meta: the segment file was missing at open.
+        let meta = meta.ok_or(Error::Truncated)?;
+        if meta.version == 0 {
+            return Err(Error::Corrupt("unrecognized segment magic"));
+        }
+        let end = offset + segment::header_len(meta.version) + len;
+        if end > meta.valid_len {
+            return Err(Error::Truncated);
+        }
+        let eof_at = self.fault.short_read(key).then(|| end - 1);
+        segment::read_record(&path, offset, len, key, meta.version, eof_at)
+    }
+
     /// Looks up the profile stored under `key`, remapping its test id to
-    /// `test` (the corpus index of the *current* run).
+    /// `test` (the corpus index of the *current* run). Damage is reported
+    /// as [`ProfileLookup::Damaged`] (and counted), never as `Err`.
     pub fn lookup_profile(&mut self, key: u64, test: u32) -> Result<ProfileLookup, Error> {
         if !self.read_cache {
             self.profile_misses += 1;
@@ -150,18 +262,22 @@ impl Store {
         }
         match self.manifest.profiles.get(&key) {
             Some(ProfileStatus::Ok { segment, offset, len }) => {
-                let path = self.segment_path(*segment);
-                let payload = segment::read_record(&path, *offset, *len, key)?;
-                let mut profile = codec::decode_profile(&payload).map_err(|e| match e {
-                    Error::Truncated | Error::Corrupt(_) => Error::Format {
-                        path,
-                        detail: format!("profile record {key:#x}: {e}"),
-                    },
-                    other => other,
-                })?;
-                profile.test = test;
-                self.profile_hits += 1;
-                Ok(ProfileLookup::Hit(profile))
+                let decoded = self
+                    .read_verified(SegmentKind::Profile, *segment, *offset, *len, key)
+                    .and_then(|payload| codec::decode_profile(&payload));
+                match decoded {
+                    Ok(mut profile) => {
+                        profile.test = test;
+                        self.profile_hits += 1;
+                        Ok(ProfileLookup::Hit(profile))
+                    }
+                    Err(_) => {
+                        self.records_damaged += 1;
+                        self.damaged_keys.insert(key);
+                        self.profile_misses += 1;
+                        Ok(ProfileLookup::Damaged)
+                    }
+                }
             }
             Some(ProfileStatus::Failed) => {
                 self.profile_hits += 1;
@@ -177,13 +293,18 @@ impl Store {
 
     /// Persists one corpus chunk of freshly profiled tests (failures
     /// included — they are cached as negative entries) into a new segment
-    /// file. No-op when `batch` is empty.
+    /// file. No-op when `batch` is empty. Rewriting a key whose record was
+    /// found damaged this run counts as a heal.
     pub fn insert_profiles(&mut self, batch: &[(u64, Option<SeqProfile>)]) -> Result<(), Error> {
         if batch.is_empty() {
             return Ok(());
         }
         let seg_no = self.manifest.next_segment;
-        let mut writer = SegmentWriter::create(&self.segment_path(seg_no), PROFILE_MAGIC)?;
+        let path = self.segment_path(seg_no);
+        let mut writer = SegmentWriter::create(&path, PROFILE_MAGIC)?;
+        if let Some(cut) = self.fault.take_torn_write() {
+            writer.set_torn_after(cut);
+        }
         let mut buf = Vec::new();
         let mut new_entries = BTreeMap::new();
         for (key, profile) in batch {
@@ -199,61 +320,93 @@ impl Store {
                 }
             }
         }
-        writer.finish()?;
-        self.manifest.next_segment += 1;
+        let total = writer.finish()?;
+        self.apply_flip_fault(&path);
+        segment::sync_dir(&self.root);
+        self.seg_meta.insert(seg_no, SegMeta { version: 2, valid_len: total });
+        self.manifest.next_segment = seg_no + 1;
+        for key in new_entries.keys() {
+            if self.damaged_keys.remove(key) {
+                self.records_healed += 1;
+            }
+        }
         self.manifest.profiles.extend(new_entries);
         Ok(())
     }
 
     /// Finds the most recent stored PMC set reusable for `corpus_keys`:
     /// exact corpus match first, else the longest strict-prefix match.
-    pub fn lookup_pmcs(&self, corpus_keys: &[u64]) -> Result<PmcLookup, Error> {
+    /// Damaged candidates are skipped (and counted); if only damage
+    /// remains, returns [`PmcLookup::Damaged`].
+    pub fn lookup_pmcs(&mut self, corpus_keys: &[u64]) -> Result<PmcLookup, Error> {
         if !self.read_cache {
             return Ok(PmcLookup::Miss);
         }
-        let mut best: Option<&PmcEntry> = None;
-        for entry in self.manifest.pmcs.iter().rev() {
-            if entry.corpus == corpus_keys {
-                best = Some(entry);
-                break;
+        let mut excluded: BTreeSet<usize> = BTreeSet::new();
+        let mut damage_seen = false;
+        loop {
+            let mut best: Option<usize> = None;
+            for (idx, entry) in self.manifest.pmcs.iter().enumerate().rev() {
+                if excluded.contains(&idx) {
+                    continue;
+                }
+                if entry.corpus == corpus_keys {
+                    best = Some(idx);
+                    break;
+                }
+                let better = best.map_or(0, |b| self.manifest.pmcs[b].corpus.len());
+                if entry.corpus.len() > better
+                    && entry.corpus.len() < corpus_keys.len()
+                    && corpus_keys.starts_with(&entry.corpus)
+                {
+                    best = Some(idx);
+                }
             }
-            let better = best.map_or(0, |b| b.corpus.len());
-            if entry.corpus.len() > better
-                && entry.corpus.len() < corpus_keys.len()
-                && corpus_keys.starts_with(&entry.corpus)
-            {
-                best = Some(entry);
+            let Some(idx) = best else {
+                return Ok(if damage_seen { PmcLookup::Damaged } else { PmcLookup::Miss });
+            };
+            let entry = self.manifest.pmcs[idx].clone();
+            let key = corpus_key(&entry.corpus);
+            let decoded = self
+                .read_verified(SegmentKind::Pmc, entry.segment, entry.offset, entry.len, key)
+                .and_then(|payload| codec::decode_pmc_set(&payload));
+            match decoded {
+                Ok(set) => {
+                    return Ok(if entry.corpus == corpus_keys {
+                        PmcLookup::Exact(set)
+                    } else {
+                        PmcLookup::Prefix(set, entry.corpus.len())
+                    });
+                }
+                Err(_) => {
+                    self.records_damaged += 1;
+                    self.damaged_pmc_corpora.insert(key);
+                    damage_seen = true;
+                    excluded.insert(idx);
+                }
             }
-        }
-        let Some(entry) = best else {
-            return Ok(PmcLookup::Miss);
-        };
-        let path = self.pmc_path(entry.segment);
-        let payload = segment::read_record(&path, entry.offset, entry.len, corpus_key(&entry.corpus))?;
-        let set = codec::decode_pmc_set(&payload).map_err(|e| match e {
-            Error::Truncated | Error::Corrupt(_) => Error::Format {
-                path,
-                detail: format!("PMC record: {e}"),
-            },
-            other => other,
-        })?;
-        if entry.corpus == corpus_keys {
-            Ok(PmcLookup::Exact(set))
-        } else {
-            Ok(PmcLookup::Prefix(set, entry.corpus.len()))
         }
     }
 
     /// Persists `set` as the PMC universe of `corpus_keys`, replacing any
-    /// entry stored for the same corpus.
+    /// entry stored for the same corpus. Replacing a corpus whose record
+    /// was found damaged this run counts as a heal.
     pub fn save_pmcs(&mut self, corpus_keys: &[u64], set: &PmcSet) -> Result<(), Error> {
         let seg_no = self.manifest.next_segment;
-        let mut writer = SegmentWriter::create(&self.pmc_path(seg_no), PMC_MAGIC)?;
+        let path = self.pmc_path(seg_no);
+        let mut writer = SegmentWriter::create(&path, PMC_MAGIC)?;
+        if let Some(cut) = self.fault.take_torn_write() {
+            writer.set_torn_after(cut);
+        }
         let mut buf = Vec::new();
         codec::encode_pmc_set(set, &mut buf);
-        let (offset, len) = writer.append(corpus_key(corpus_keys), &buf)?;
-        writer.finish()?;
-        self.manifest.next_segment += 1;
+        let record_key = corpus_key(corpus_keys);
+        let (offset, len) = writer.append(record_key, &buf)?;
+        let total = writer.finish()?;
+        self.apply_flip_fault(&path);
+        segment::sync_dir(&self.root);
+        self.pmc_meta.insert(seg_no, SegMeta { version: 2, valid_len: total });
+        self.manifest.next_segment = seg_no + 1;
         self.manifest.pmcs.retain(|e| e.corpus != corpus_keys);
         self.manifest.pmcs.push(PmcEntry {
             corpus: corpus_keys.to_vec(),
@@ -261,7 +414,30 @@ impl Store {
             offset,
             len,
         });
+        if self.damaged_pmc_corpora.remove(&record_key) {
+            self.records_healed += 1;
+        }
         Ok(())
+    }
+
+    /// Applies an armed post-write bit flip to the finished segment at
+    /// `path` (injection only; no-op for an empty plan).
+    fn apply_flip_fault(&mut self, path: &Path) {
+        use std::io::{Read, Seek, SeekFrom, Write};
+        let Some((offset, mask)) = self.fault.take_flip() else {
+            return;
+        };
+        let Ok(mut file) = std::fs::OpenOptions::new().read(true).write(true).open(path) else {
+            return;
+        };
+        let mut byte = [0u8; 1];
+        if file.seek(SeekFrom::Start(offset)).is_ok() && file.read_exact(&mut byte).is_ok() {
+            byte[0] ^= mask;
+            let _ = file
+                .seek(SeekFrom::Start(offset))
+                .and_then(|_| file.write_all(&byte))
+                .and_then(|()| file.sync_all());
+        }
     }
 
     /// Writes the manifest (with this run's hit/miss counters) atomically.
@@ -301,6 +477,42 @@ impl Store {
         }
         Ok((sizes, stats))
     }
+}
+
+/// Lists `(file name, kind, segment number)` for every segment file in
+/// `root`, in name order.
+pub(crate) fn list_segment_files(root: &Path) -> Result<Vec<(String, SegmentKind, u64)>, Error> {
+    let entries = std::fs::read_dir(root).map_err(|source| Error::Io {
+        op: "read-dir",
+        path: root.to_path_buf(),
+        source,
+    })?;
+    let mut files = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|source| Error::Io {
+            op: "read-dir",
+            path: root.to_path_buf(),
+            source,
+        })?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let kind = if name.starts_with("seg-") {
+            SegmentKind::Profile
+        } else if name.starts_with("pmc-") {
+            SegmentKind::Pmc
+        } else {
+            continue;
+        };
+        let Some(num) = name
+            .strip_suffix(".bin")
+            .and_then(|s| s.get(4..))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        files.push((name, kind, num));
+    }
+    files.sort();
+    Ok(files)
 }
 
 #[cfg(test)]
@@ -438,6 +650,163 @@ mod tests {
         let reopened = Store::open(&dir).expect("reopen");
         assert_eq!(reopened.last_counters(), (1, 1));
         assert_eq!(reopened.last_hit_rate(), Some(0.5));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_profile_record_degrades_to_damaged_and_heals() {
+        let (dir, mut store) = tmp_store("flip");
+        let p = profile(0, 0x4000);
+        store.insert_profiles(&[(77, Some(p.clone()))]).expect("insert");
+        store.flush().expect("flush");
+
+        // Flip one payload byte of the only record.
+        let seg = dir.join("seg-0000.bin");
+        let mut bytes = std::fs::read(&seg).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        std::fs::write(&seg, &bytes).expect("flip");
+
+        let mut store = Store::open(&dir).expect("reopen");
+        assert_eq!(store.lookup_profile(77, 0).expect("lookup"), ProfileLookup::Damaged);
+        assert_eq!((store.records_damaged, store.records_healed), (1, 0));
+        assert_eq!(store.profile_misses, 1, "damage counts as a miss for hit-rate purposes");
+
+        // Recompute-and-rewrite heals.
+        store.insert_profiles(&[(77, Some(p.clone()))]).expect("heal");
+        assert_eq!(store.records_healed, 1);
+        store.flush().expect("flush");
+        let mut store = Store::open(&dir).expect("reopen again");
+        assert!(matches!(store.lookup_profile(77, 0).expect("lookup"), ProfileLookup::Hit(_)));
+        assert_eq!(store.records_damaged, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_segment_file_degrades_to_damaged() {
+        let (dir, mut store) = tmp_store("missing");
+        store.insert_profiles(&[(8, Some(profile(0, 0x5000)))]).expect("insert");
+        store.flush().expect("flush");
+        std::fs::remove_file(dir.join("seg-0000.bin")).expect("remove");
+        let mut store = Store::open(&dir).expect("reopen");
+        assert_eq!(store.lookup_profile(8, 0).expect("lookup"), ProfileLookup::Damaged);
+        assert_eq!(store.records_damaged, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn damaged_pmc_record_skips_to_prefix_or_reports_damage() {
+        let (dir, mut store) = tmp_store("pmcdmg");
+        let mut set = PmcSet::default();
+        set.pmcs.push(sample_pmc());
+        store.save_pmcs(&[1, 2], &set).expect("save prefix");
+        store.save_pmcs(&[1, 2, 3], &set).expect("save exact");
+        store.flush().expect("flush");
+
+        // Damage the exact entry (pmc-0001); the [1,2] prefix still serves.
+        let exact_path = dir.join("pmc-0001.bin");
+        let mut bytes = std::fs::read(&exact_path).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x08;
+        std::fs::write(&exact_path, &bytes).expect("flip");
+        let mut store = Store::open(&dir).expect("reopen");
+        assert_eq!(
+            store.lookup_pmcs(&[1, 2, 3]).expect("lookup"),
+            PmcLookup::Prefix(set.clone(), 2),
+            "damaged exact falls back to the intact prefix"
+        );
+        assert_eq!(store.records_damaged, 1);
+
+        // Saving the exact corpus again heals it.
+        store.save_pmcs(&[1, 2, 3], &set).expect("heal");
+        assert_eq!(store.records_healed, 1);
+
+        // Damage everything: lookup reports Damaged, not Miss.
+        for name in ["pmc-0000.bin", "pmc-0002.bin"] {
+            let path = dir.join(name);
+            let mut bytes = std::fs::read(&path).expect("read");
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x08;
+            std::fs::write(&path, &bytes).expect("flip");
+        }
+        store.flush().expect("flush");
+        let mut store = Store::open(&dir).expect("reopen");
+        assert_eq!(store.lookup_pmcs(&[1, 2, 3]).expect("lookup"), PmcLookup::Damaged);
+        assert_eq!(store.records_damaged, 2, "both candidates damaged");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_insert_preserves_prefix_and_orphans_are_adopted() {
+        let (dir, mut store) = tmp_store("torn");
+        let p0 = profile(0, 0x6000);
+        store.insert_profiles(&[(10, Some(p0.clone()))]).expect("first batch");
+        store.flush().expect("flush");
+
+        // Second batch: two records, killed mid-second (after the first
+        // record of the batch is fully on disk).
+        let p1 = profile(1, 0x6100);
+        let p2 = profile(2, 0x6200);
+        let mut probe = Vec::new();
+        codec::encode_profile(&p1, &mut probe);
+        let first_record_bytes = 16 + probe.len() as u64;
+        store.set_fault_plan(DiskFaultPlan {
+            torn_write_after: Some(first_record_bytes + 5),
+            ..Default::default()
+        });
+        let err = store
+            .insert_profiles(&[(11, Some(p1.clone())), (12, Some(p2))])
+            .expect_err("torn write kills the insert");
+        assert!(matches!(err, Error::Injected(_)));
+        drop(store); // crash: no flush, manifest never saw the batch
+
+        let mut store = Store::open(&dir).expect("reopen");
+        // The completed first batch still serves.
+        assert!(matches!(store.lookup_profile(10, 0).expect("lookup"), ProfileLookup::Hit(_)));
+        // The batch's first record survived the tear and was adopted.
+        assert!(matches!(store.lookup_profile(11, 1).expect("lookup"), ProfileLookup::Hit(_)));
+        // The torn second record is simply gone — a miss, not damage.
+        assert_eq!(store.lookup_profile(12, 2).expect("lookup"), ProfileLookup::Miss);
+        // The torn tail was truncated on open.
+        let torn_seg = dir.join("seg-0001.bin");
+        assert_eq!(
+            std::fs::metadata(&torn_seg).expect("meta").len(),
+            8 + first_record_bytes
+        );
+        // New inserts never clobber the adopted segment.
+        store.insert_profiles(&[(13, Some(profile(3, 0x6300)))]).expect("insert");
+        assert!(matches!(store.lookup_profile(11, 1).expect("lookup"), ProfileLookup::Hit(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn short_read_injection_degrades_to_damaged() {
+        let (dir, mut store) = tmp_store("shortread");
+        store.insert_profiles(&[(21, Some(profile(0, 0x7000)))]).expect("insert");
+        let mut plan = DiskFaultPlan::default();
+        plan.short_read_keys.insert(21);
+        store.set_fault_plan(plan);
+        assert_eq!(store.lookup_profile(21, 0).expect("lookup"), ProfileLookup::Damaged);
+        assert_eq!(store.records_damaged, 1);
+        store.set_fault_plan(DiskFaultPlan::default());
+        assert!(matches!(store.lookup_profile(21, 0).expect("lookup"), ProfileLookup::Hit(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flip_after_write_fault_corrupts_the_new_segment() {
+        let (dir, mut store) = tmp_store("flipfault");
+        store.set_fault_plan(DiskFaultPlan {
+            // Offset 20 is the CRC word of the first record.
+            flip_after_write: Some((20, 0xFF)),
+            ..Default::default()
+        });
+        store.insert_profiles(&[(31, Some(profile(0, 0x8000)))]).expect("insert");
+        store.flush().expect("flush");
+        // Same process still trusts its in-memory meta; a reopen rescans
+        // and the CRC catches the flip.
+        let mut store = Store::open(&dir).expect("reopen");
+        assert_eq!(store.lookup_profile(31, 0).expect("lookup"), ProfileLookup::Damaged);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -185,6 +185,54 @@ fn killed_campaign_resumes_from_checkpoint_to_identical_aggregates() {
 }
 
 #[test]
+fn lenient_resume_survives_a_corrupt_checkpoint() {
+    let fx = fixture();
+    let path = scratch_path("lenient");
+    let _ = std::fs::remove_file(&path);
+
+    let clean = run_campaign(fx.booted, &fx.corpus, &fx.set, &fx.exemplars, &base_cfg())
+        .expect("clean campaign");
+
+    // Write a real checkpoint, then truncate it mid-file — the torn state a
+    // kill during a non-atomic write would leave behind.
+    let first_cfg = CampaignCfg {
+        checkpoint: Some(CheckpointCfg::new(path.clone())),
+        ..base_cfg()
+    };
+    run_campaign(fx.booted, &fx.corpus, &fx.set, &fx.exemplars, &first_cfg).expect("campaign");
+    let bytes = std::fs::read(&path).expect("checkpoint written");
+    assert!(bytes.len() > 2);
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+
+    // Strict resume refuses the unparseable checkpoint.
+    let strict_cfg = CampaignCfg {
+        resume_from: Some(path.clone()),
+        ..base_cfg()
+    };
+    run_campaign(fx.booted, &fx.corpus, &fx.set, &fx.exemplars, &strict_cfg)
+        .expect_err("strict resume must reject a corrupt checkpoint");
+
+    // Lenient resume (`--resume-or-fresh`) warns and starts fresh instead,
+    // producing the same aggregates as an uninterrupted run.
+    let lenient_cfg = CampaignCfg {
+        resume_from: Some(path.clone()),
+        resume_lenient: true,
+        ..base_cfg()
+    };
+    let report = run_campaign(fx.booted, &fx.corpus, &fx.set, &fx.exemplars, &lenient_cfg)
+        .expect("lenient resume must fall back to a fresh campaign");
+    assert_eq!(report.outcomes, clean.outcomes);
+    assert_eq!(report.executions, clean.executions);
+    assert_eq!(report.bug_ids(), clean.bug_ids());
+
+    // A missing checkpoint file is tolerated the same way.
+    let _ = std::fs::remove_file(&path);
+    let report = run_campaign(fx.booted, &fx.corpus, &fx.set, &fx.exemplars, &lenient_cfg)
+        .expect("lenient resume must tolerate a missing checkpoint");
+    assert_eq!(report.outcomes, clean.outcomes);
+}
+
+#[test]
 fn resume_rejects_a_checkpoint_from_a_different_campaign() {
     let fx = fixture();
     let path = scratch_path("foreign");
