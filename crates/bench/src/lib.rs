@@ -212,6 +212,7 @@ mod tests {
             executions: 1,
             quarantined: vec![],
             store: None,
+            supervise: None,
         };
         assert_eq!(issues_cell(&report), "#13 (1.0)");
     }

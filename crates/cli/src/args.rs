@@ -4,6 +4,7 @@ use std::path::PathBuf;
 
 use sb_kernel::{KernelConfig, KernelVersion};
 use snowboard::cluster::Strategy;
+use snowboard::FaultPlan;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -44,6 +45,17 @@ OPTIONS (hunt):
     --store <DIR>                 persist/reuse profiles and PMCs in DIR
     --no-cache                    with --store: write results but serve no reads
     --trace-dir <DIR>             write structured JSONL trace events to DIR
+    --supervise                   run the campaign as separate worker
+                                  processes, supervised with heartbeats,
+                                  restart budgets, and crash quarantine
+    --stop-file <PATH>            with --supervise: finish in-flight jobs,
+                                  checkpoint, and exit 0 once PATH exists
+    --heartbeat-ms <N>            with --supervise: kill and restart a worker
+                                  heard from not at all for N ms
+                                  [default: 10000]
+    --fault-plan <SPEC>           inject scripted faults for testing, e.g.
+                                  'panic=3;transient=1:2;abort=2;stall=5'
+                                  (abort/exit/stall need --supervise)
 
 OPTIONS (strategies):   --version, --patched, --seed, --corpus
 OPTIONS (repro):        --bug <1|2|3|4|11|12> (console-detectable bugs)
@@ -51,6 +63,13 @@ OPTIONS (store stats):  --store <DIR> (required)
 OPTIONS (store fsck):   --store <DIR> (required)
 OPTIONS (store repair): --store <DIR> (required)
 OPTIONS (trace report): --trace-dir <DIR> (required)
+
+EXIT CODES:
+    0    success (including a graceful --stop-file shutdown)
+    1    runtime failure: campaign error, unopenable store, dirty fsck,
+         missing or unverifiable trace
+    2    usage error: unknown command, option, or malformed value
+    3    hunt completed, but one or more jobs were quarantined
 ";
 
 /// Options for the `hunt` command.
@@ -90,13 +109,30 @@ pub struct HuntOpts {
     /// Directory to write structured JSONL trace events to; `None` disables
     /// tracing entirely (the near-no-op path).
     pub trace_dir: Option<PathBuf>,
+    /// Run the campaign as supervised worker *processes* instead of the
+    /// in-process thread pool.
+    pub supervise: bool,
+    /// With `--supervise`: graceful-shutdown trigger — finish in-flight
+    /// jobs, save the checkpoint, and exit cleanly once this file exists.
+    pub stop_file: Option<PathBuf>,
+    /// With `--supervise`: a worker silent for this long is killed and
+    /// restarted.
+    pub heartbeat_ms: u64,
+    /// Scripted fault injection (in-process faults everywhere; the
+    /// abort/exit/stall process faults only under `--supervise`).
+    pub fault_plan: FaultPlan,
+    /// Hidden worker entrypoint `(shard, of)`: run one deterministic shard
+    /// of the campaign and speak the worker protocol on stdout. Set only by
+    /// the supervisor's re-exec; never by hand.
+    pub worker_shard: Option<(usize, usize)>,
 }
 
 /// Parsed command.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Cmd {
-    /// Full pipeline + campaign.
-    Hunt(HuntOpts),
+    /// Full pipeline + campaign. Boxed: the options dwarf every other
+    /// variant.
+    Hunt(Box<HuntOpts>),
     /// Cluster-count summary.
     Strategies {
         /// Kernel configuration.
@@ -173,6 +209,18 @@ fn take_value<'a>(
 fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
     v.parse()
         .map_err(|_| format!("{flag}: invalid number '{v}'"))
+}
+
+/// Parses the hidden `--worker-shard K/N` value.
+fn parse_shard(v: &str) -> Result<(usize, usize), String> {
+    let bad = || format!("--worker-shard: expected K/N with K < N, got '{v}'");
+    let (k, n) = v.split_once('/').ok_or_else(bad)?;
+    let shard: usize = k.trim().parse().map_err(|_| bad())?;
+    let of: usize = n.trim().parse().map_err(|_| bad())?;
+    if of == 0 || shard >= of {
+        return Err(bad());
+    }
+    Ok((shard, of))
 }
 
 /// Parses a full command line (without `argv[0]`).
@@ -265,6 +313,11 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
             let mut store: Option<PathBuf> = None;
             let mut no_cache = false;
             let mut trace_dir: Option<PathBuf> = None;
+            let mut supervise = false;
+            let mut stop_file: Option<PathBuf> = None;
+            let mut heartbeat_ms = 10_000u64;
+            let mut fault_plan = FaultPlan::default();
+            let mut worker_shard: Option<(usize, usize)> = None;
             let mut i = 1;
             while i < argv.len() {
                 match argv[i].as_str() {
@@ -313,12 +366,38 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                     "--trace-dir" if is_hunt => {
                         trace_dir = Some(PathBuf::from(take_value(argv, &mut i, "--trace-dir")?))
                     }
+                    "--supervise" if is_hunt => supervise = true,
+                    "--stop-file" if is_hunt => {
+                        stop_file = Some(PathBuf::from(take_value(argv, &mut i, "--stop-file")?))
+                    }
+                    "--heartbeat-ms" if is_hunt => {
+                        heartbeat_ms =
+                            parse_num(take_value(argv, &mut i, "--heartbeat-ms")?, "--heartbeat-ms")?;
+                        if heartbeat_ms == 0 {
+                            return Err("--heartbeat-ms must be positive".into());
+                        }
+                    }
+                    "--fault-plan" if is_hunt => {
+                        fault_plan = FaultPlan::parse_spec(take_value(argv, &mut i, "--fault-plan")?)
+                            .map_err(|e| format!("--fault-plan: {e}"))?
+                    }
+                    "--worker-shard" if is_hunt => {
+                        worker_shard = Some(parse_shard(take_value(argv, &mut i, "--worker-shard")?)?)
+                    }
                     other => return Err(format!("unknown option '{other}'")),
                 }
                 i += 1;
             }
             if no_cache && store.is_none() {
                 return Err("--no-cache requires --store <dir>".into());
+            }
+            if supervise && worker_shard.is_some() {
+                return Err("--worker-shard is the supervisor's internal entrypoint; \
+                            it cannot be combined with --supervise"
+                    .into());
+            }
+            if stop_file.is_some() && !supervise && worker_shard.is_none() {
+                return Err("--stop-file requires --supervise".into());
             }
             let mut config = match version {
                 KernelVersion::V5_3_10 => KernelConfig::v5_3_10(),
@@ -328,7 +407,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                 config = config.patched();
             }
             if is_hunt {
-                Ok(Cmd::Hunt(HuntOpts {
+                Ok(Cmd::Hunt(Box::new(HuntOpts {
                     config,
                     strategy,
                     seed,
@@ -345,7 +424,12 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                     store,
                     no_cache,
                     trace_dir,
-                }))
+                    supervise,
+                    stop_file,
+                    heartbeat_ms,
+                    fault_plan,
+                    worker_shard,
+                })))
             } else {
                 Ok(Cmd::Strategies { config, seed, corpus })
             }
@@ -480,6 +564,56 @@ mod tests {
         assert!(parse(&argv("trace report")).is_err(), "--trace-dir is required");
         assert!(parse(&argv("hunt --trace-dir")).is_err(), "flag needs a value");
         assert!(parse(&argv("strategies --trace-dir /x")).is_err(), "hunt-only flag");
+    }
+
+    #[test]
+    fn parses_supervision_flags() {
+        let cmd = parse(&argv(
+            "hunt --supervise --stop-file /tmp/stop --heartbeat-ms 500 --fault-plan abort=2;stall=3",
+        ))
+        .unwrap();
+        match cmd {
+            Cmd::Hunt(o) => {
+                assert!(o.supervise);
+                assert_eq!(o.stop_file, Some(PathBuf::from("/tmp/stop")));
+                assert_eq!(o.heartbeat_ms, 500);
+                assert!(o.fault_plan.should_abort(2));
+                assert!(o.fault_plan.should_stall(3));
+                assert_eq!(o.worker_shard, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults: in-process pool, inert plan, 10s heartbeat timeout.
+        match parse(&argv("hunt")).unwrap() {
+            Cmd::Hunt(o) => {
+                assert!(!o.supervise);
+                assert_eq!(o.heartbeat_ms, 10_000);
+                assert!(o.fault_plan.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("hunt --stop-file /tmp/stop")).is_err(), "needs --supervise");
+        assert!(parse(&argv("hunt --supervise --heartbeat-ms 0")).is_err());
+        assert!(parse(&argv("hunt --fault-plan frob=1")).is_err(), "bad spec");
+        assert!(parse(&argv("strategies --supervise")).is_err(), "hunt-only");
+    }
+
+    #[test]
+    fn parses_the_hidden_worker_shard_entrypoint() {
+        match parse(&argv("hunt --worker-shard 1/3 --stop-file /tmp/stop")).unwrap() {
+            Cmd::Hunt(o) => {
+                assert_eq!(o.worker_shard, Some((1, 3)));
+                assert!(!o.supervise);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("hunt --worker-shard 3/3")).is_err(), "shard must be < of");
+        assert!(parse(&argv("hunt --worker-shard 0/0")).is_err());
+        assert!(parse(&argv("hunt --worker-shard nope")).is_err());
+        assert!(
+            parse(&argv("hunt --supervise --worker-shard 0/2")).is_err(),
+            "the internal entrypoint cannot itself supervise"
+        );
     }
 
     #[test]

@@ -12,7 +12,8 @@ use snowboard::pmc::identify;
 use snowboard::profile::profile_corpus;
 use snowboard::select::ClusterOrder;
 use snowboard::{
-    CampaignCfg, CheckpointCfg, IdentifyOpts, JobBudget, Pipeline, PipelineCfg, RetryPolicy,
+    CampaignCfg, CheckpointCfg, FaultPlan, IdentifyOpts, JobBudget, Pipeline, PipelineCfg,
+    RetryPolicy, SuperviseCfg, WorkerCfg,
 };
 
 use crate::args::{Cmd, HuntOpts, USAGE};
@@ -31,8 +32,20 @@ pub fn run(cmd: Cmd) -> ExitCode {
         Cmd::StoreFsck { store } => store_fsck(&store),
         Cmd::StoreRepair { store } => store_repair(&store),
         Cmd::TraceReport { trace_dir } => trace_report(&trace_dir),
-        Cmd::Hunt(opts) => hunt(opts),
+        Cmd::Hunt(opts) => hunt(*opts),
     }
+}
+
+/// Exit code for a hunt that finished but quarantined at least one job:
+/// the campaign result is usable, yet not complete.
+const EXIT_QUARANTINED: u8 = 3;
+
+fn print_campaign_error(e: &snowboard::Error) {
+    eprint!("error: campaign failed:");
+    for line in e.chain() {
+        eprint!(" {line};");
+    }
+    eprintln!();
 }
 
 fn print_store_error(context: &str, e: &sb_store::Error) {
@@ -239,7 +252,97 @@ fn strategies(config: KernelConfig, seed: u64, corpus: usize) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The retry/watchdog configuration shared by every hunt mode — the
+/// supervisor, its workers, and the in-process pool must agree on it for
+/// supervised results to be bit-identical to single-process runs.
+fn hunt_campaign_cfg(opts: &HuntOpts) -> CampaignCfg {
+    CampaignCfg {
+        seed: opts.seed,
+        trials_per_pmc: opts.trials,
+        max_tested_pmcs: opts.budget,
+        workers: opts.workers,
+        stop_on_finding: true,
+        incidental: true,
+        retry: RetryPolicy {
+            max_attempts: opts.retries,
+            ..RetryPolicy::default()
+        },
+        budget: JobBudget {
+            max_steps: None,
+            deadline: (opts.job_deadline_secs > 0)
+                .then(|| std::time::Duration::from_secs(opts.job_deadline_secs)),
+        },
+        checkpoint: None,
+        resume_from: None,
+        resume_lenient: false,
+        fault_plan: opts.fault_plan.clone(),
+        tracer: sb_obs::Tracer::disabled(),
+    }
+}
+
+/// The hidden `--worker-shard K/N` entrypoint the supervisor re-execs the
+/// binary into: silently prepare the same pipeline, then run one shard of
+/// the campaign speaking the worker protocol on stdout. Everything
+/// human-readable stays off stdout — the supervisor owns that pipe.
+fn hunt_worker(opts: HuntOpts, shard: usize, of: usize) -> ExitCode {
+    let mut fault_plan = opts.fault_plan.clone();
+    // `SB_PROCESS_FAULTS` injects process-level faults into workers without
+    // the supervisor knowing, mimicking an external OOM killer.
+    if let Ok(spec) = std::env::var("SB_PROCESS_FAULTS") {
+        match FaultPlan::parse_spec(&spec) {
+            Ok(env_plan) => fault_plan.merge(env_plan),
+            Err(e) => {
+                eprintln!("error: SB_PROCESS_FAULTS: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let p = Pipeline::prepare(
+        opts.config,
+        PipelineCfg {
+            seed: opts.seed,
+            corpus_target: opts.corpus,
+            fuzz_budget: (opts.corpus as u64) * 15,
+            workers: opts.workers,
+            ..PipelineCfg::default()
+        },
+    );
+    let order = if opts.random_order {
+        ClusterOrder::Random
+    } else {
+        ClusterOrder::UncommonFirst
+    };
+    let exemplars = p.exemplars(opts.strategy, order);
+    let mut cfg = hunt_campaign_cfg(&opts);
+    cfg.fault_plan = fault_plan.clone();
+    // The supervisor saves its merged checkpoint immediately before every
+    // spawn and passes it as --resume; strict validation here turns any
+    // supervisor/worker disagreement into a loud early death.
+    cfg.resume_from = opts.resume.clone();
+    cfg.resume_lenient = opts.resume_lenient;
+    let wcfg = WorkerCfg {
+        shard,
+        of,
+        heartbeat: std::time::Duration::from_millis((opts.heartbeat_ms / 4).max(25)),
+        stop_file: opts.stop_file.clone(),
+        process_faults: fault_plan,
+    };
+    match snowboard::run_worker_shard(&p.booted, &p.corpus, &p.pmcs, &exemplars, &cfg, &wcfg) {
+        Ok(_stopped) => ExitCode::SUCCESS,
+        Err(e) => {
+            print_campaign_error(&e);
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn hunt(opts: HuntOpts) -> ExitCode {
+    if let Some((shard, of)) = opts.worker_shard {
+        return hunt_worker(opts, shard, of);
+    }
+    let base_cfg = hunt_campaign_cfg(&opts);
+    let version_str = opts.config.version.to_string();
+    let patched = opts.config.patched;
     let HuntOpts {
         config,
         strategy,
@@ -257,6 +360,11 @@ fn hunt(opts: HuntOpts) -> ExitCode {
         store,
         no_cache,
         trace_dir,
+        supervise,
+        stop_file,
+        heartbeat_ms,
+        fault_plan,
+        worker_shard: _,
     } = opts;
     // An unwritable trace destination degrades to an untraced hunt — the
     // campaign is the product, the trace is a diagnostic.
@@ -328,42 +436,112 @@ fn hunt(opts: HuntOpts) -> ExitCode {
         ClusterOrder::UncommonFirst
     };
     let exemplars = p.exemplars_traced(strategy, order, &tracer);
-    let report = p.campaign(
-        &exemplars,
-        &CampaignCfg {
-            seed,
-            trials_per_pmc: trials,
-            max_tested_pmcs: budget,
-            workers,
-            stop_on_finding: true,
-            incidental: true,
-            retry: RetryPolicy {
-                max_attempts: retries,
-                ..RetryPolicy::default()
-            },
-            budget: JobBudget {
-                max_steps: None,
-                deadline: (job_deadline_secs > 0)
-                    .then(|| std::time::Duration::from_secs(job_deadline_secs)),
-            },
-            checkpoint: checkpoint.map(CheckpointCfg::new),
-            resume_from: resume,
-            resume_lenient,
-            fault_plan: Default::default(),
-            tracer: tracer.clone(),
-        },
-    );
+    let mut cfg = base_cfg;
+    cfg.checkpoint = checkpoint.clone().map(CheckpointCfg::new);
+    cfg.resume_from = resume;
+    cfg.resume_lenient = resume_lenient;
+    cfg.tracer = tracer.clone();
+    // The supervisor's merged checkpoint: the user's --checkpoint path when
+    // given, else a private temp file removed after a clean finish.
+    let sup_ckpt = checkpoint.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("sb-supervise-{}.json", std::process::id()))
+    });
+    let sup_ckpt_is_temp = checkpoint.is_none();
+    let report = if supervise {
+        let exe = match std::env::current_exe() {
+            Ok(exe) => exe,
+            Err(e) => {
+                eprintln!("error: cannot locate own binary to re-exec workers: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let scfg = SuperviseCfg {
+            workers: workers.max(1),
+            heartbeat_timeout: std::time::Duration::from_millis(heartbeat_ms),
+            stop_file: stop_file.clone(),
+            checkpoint: sup_ckpt.clone(),
+            ..SuperviseCfg::default()
+        };
+        eprintln!(
+            "[supervise] {} worker process(es), heartbeat timeout {heartbeat_ms} ms",
+            scfg.workers
+        );
+        // Workers re-exec this binary into the hidden --worker-shard
+        // entrypoint with everything that shapes campaign results; --store
+        // and --trace-dir stay supervisor-only (one writer per resource).
+        let mut wargs: Vec<String> = vec![
+            "hunt".into(),
+            "--version".into(),
+            version_str,
+            "--strategy".into(),
+            strategy.to_string(),
+            "--seed".into(),
+            seed.to_string(),
+            "--corpus".into(),
+            corpus.to_string(),
+            "--budget".into(),
+            budget.to_string(),
+            "--trials".into(),
+            trials.to_string(),
+            "--workers".into(),
+            workers.to_string(),
+            "--retries".into(),
+            retries.to_string(),
+            "--job-deadline".into(),
+            job_deadline_secs.to_string(),
+            "--heartbeat-ms".into(),
+            heartbeat_ms.to_string(),
+            "--resume".into(),
+            sup_ckpt.display().to_string(),
+        ];
+        if patched {
+            wargs.push("--patched".into());
+        }
+        if random_order {
+            wargs.push("--random-order".into());
+        }
+        if let Some(sf) = &stop_file {
+            wargs.push("--stop-file".into());
+            wargs.push(sf.display().to_string());
+        }
+        if !fault_plan.is_empty() {
+            wargs.push("--fault-plan".into());
+            wargs.push(fault_plan.to_spec());
+        }
+        let spawn = |shard: usize| {
+            let mut c = std::process::Command::new(&exe);
+            c.args(&wargs)
+                .arg("--worker-shard")
+                .arg(format!("{shard}/{}", scfg.workers));
+            c
+        };
+        snowboard::run_supervised(&exemplars, &cfg, &scfg, spawn)
+    } else {
+        p.campaign(&exemplars, &cfg)
+    };
     let mut report = match report {
         Ok(r) => r,
         Err(e) => {
-            eprint!("error: campaign failed:");
-            for line in e.chain() {
-                eprint!(" {line};");
-            }
-            eprintln!();
+            print_campaign_error(&e);
             return ExitCode::FAILURE;
         }
     };
+    if let Some(s) = &report.supervise {
+        eprintln!(
+            "[supervise] {} spawn(s) + {} respawn(s), {} crash(es), \
+             {} heartbeat miss(es), {} shard(s) abandoned",
+            s.spawns, s.respawns, s.crashes, s.heartbeat_misses, s.shards_abandoned
+        );
+        if s.stopped {
+            eprintln!(
+                "[supervise] stopped by stop file; resume with --supervise --resume {}",
+                sup_ckpt.display()
+            );
+        } else if sup_ckpt_is_temp {
+            // Clean finish: the private checkpoint has served its purpose.
+            let _ = std::fs::remove_file(&sup_ckpt);
+        }
+    }
     report.store = store_stats;
     // Authoritative run totals, emitted last: `trace report` verifies its
     // event-level reconstruction against this record.
@@ -410,9 +588,16 @@ fn hunt(opts: HuntOpts) -> ExitCode {
             );
         }
     }
+    // Exit 3 ("completed with quarantines") tells scripts the run finished
+    // but its coverage has holes; 0 is reserved for a fully clean campaign.
+    let final_code = if report.quarantined.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_QUARANTINED)
+    };
     if report.issues.is_empty() {
         println!("no issues found");
-        return ExitCode::SUCCESS;
+        return final_code;
     }
     println!("\nissues, in discovery order:");
     for issue in &report.issues {
@@ -430,7 +615,7 @@ fn hunt(opts: HuntOpts) -> ExitCode {
             ),
         }
     }
-    ExitCode::SUCCESS
+    final_code
 }
 
 /// Known reproduction recipes for the console-detectable bugs.

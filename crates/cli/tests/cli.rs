@@ -171,6 +171,200 @@ fn trace_report_fails_without_a_trace() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A small, fast hunt configuration shared by the supervision tests.
+/// `seed` varies per test so concurrent tests can tell their worker
+/// processes apart in /proc.
+fn small_hunt(seed: &str) -> Vec<String> {
+    [
+        "hunt", "--corpus", "12", "--budget", "10", "--trials", "2", "--workers", "2", "--seed",
+        seed, "--heartbeat-ms", "30000",
+    ]
+    .iter()
+    .map(|s| (*s).to_string())
+    .collect()
+}
+
+#[test]
+fn supervised_hunt_matches_the_in_process_run_bit_for_bit() {
+    // The whole point of the supervised mode: N worker processes, each
+    // running a deterministic shard with the same per-job seeds, must merge
+    // into exactly the report a single-process run produces.
+    let clean = bin().args(small_hunt("3")).output().expect("run hunt");
+    assert!(clean.status.success(), "stderr: {}", String::from_utf8_lossy(&clean.stderr));
+    let sup = bin()
+        .args(small_hunt("3"))
+        .arg("--supervise")
+        .output()
+        .expect("run supervised hunt");
+    assert!(sup.status.success(), "stderr: {}", String::from_utf8_lossy(&sup.stderr));
+    assert_eq!(stdout(&clean), stdout(&sup), "supervised stdout diverged");
+    let err = String::from_utf8_lossy(&sup.stderr);
+    assert!(err.contains("[supervise]"), "missing supervise summary: {err}");
+}
+
+#[test]
+fn supervised_hunt_survives_a_worker_sigkill() {
+    use std::time::{Duration, Instant};
+    let clean = bin().args(small_hunt("11")).output().expect("run hunt");
+    assert!(clean.status.success());
+
+    let sup = bin()
+        .args(small_hunt("11"))
+        .arg("--supervise")
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn supervised hunt");
+
+    // Find one of our worker processes (cmdline has --worker-shard and our
+    // seed) and SIGKILL it, simulating an external OOM kill. Best effort:
+    // if the campaign finishes before we catch a worker, the diff below
+    // still validates the run.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    'hunt: while Instant::now() < deadline {
+        for entry in std::fs::read_dir("/proc").expect("read /proc").flatten() {
+            let name = entry.file_name();
+            let Some(pid) = name.to_str().filter(|s| s.bytes().all(|b| b.is_ascii_digit()))
+            else {
+                continue;
+            };
+            let Ok(raw) = std::fs::read(entry.path().join("cmdline")) else { continue };
+            let args: Vec<&str> = raw
+                .split(|&b| b == 0)
+                .filter_map(|a| std::str::from_utf8(a).ok())
+                .collect();
+            let ours = args.windows(2).any(|w| w == ["--seed", "11"]);
+            if ours && args.contains(&"--worker-shard") {
+                let _ = std::process::Command::new("kill").args(["-9", pid]).status();
+                break 'hunt;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let out = sup.wait_with_output().expect("await supervised hunt");
+    assert!(
+        out.status.success(),
+        "killed run must still succeed; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The respawned worker resumed from the supervisor's checkpoint and
+    // reran the in-flight job with identical seeds: bit-identical output.
+    assert_eq!(stdout(&clean), stdout(&out), "post-kill report diverged from the clean run");
+}
+
+#[test]
+fn supervised_stop_file_checkpoints_then_resumes() {
+    let dir = scratch_dir("stop-file");
+    std::fs::create_dir_all(&dir).unwrap();
+    let stop = dir.join("stop");
+    let ckpt = dir.join("ckpt.json");
+    std::fs::write(&stop, b"").unwrap();
+
+    // With the stop file already present, the run must come down gracefully
+    // before testing anything, leaving a resumable checkpoint behind.
+    let stopped = bin()
+        .args(small_hunt("7"))
+        .args(["--supervise", "--stop-file"])
+        .arg(&stop)
+        .arg("--checkpoint")
+        .arg(&ckpt)
+        .output()
+        .expect("run stoppable hunt");
+    assert!(
+        stopped.status.success(),
+        "graceful stop is exit 0; stderr: {}",
+        String::from_utf8_lossy(&stopped.stderr)
+    );
+    let err = String::from_utf8_lossy(&stopped.stderr);
+    assert!(err.contains("stopped by stop file"), "stderr: {err}");
+    assert!(ckpt.is_file(), "stop must leave the checkpoint behind");
+
+    // Resuming without the stop file finishes the campaign and matches a
+    // clean single-process run exactly.
+    std::fs::remove_file(&stop).unwrap();
+    let resumed = bin()
+        .args(small_hunt("7"))
+        .args(["--supervise", "--resume"])
+        .arg(&ckpt)
+        .arg("--checkpoint")
+        .arg(&ckpt)
+        .output()
+        .expect("resume hunt");
+    assert!(
+        resumed.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let clean = bin().args(small_hunt("7")).output().expect("run hunt");
+    assert_eq!(stdout(&clean), stdout(&resumed), "resumed run diverged");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exit_codes_are_pinned() {
+    // 0: success.
+    let help = bin().arg("help").output().expect("run help");
+    assert_eq!(help.status.code(), Some(0));
+    // 2: usage error.
+    let usage = bin().args(["hunt", "--frobnicate"]).output().expect("run bad flag");
+    assert_eq!(usage.status.code(), Some(2), "usage errors exit 2");
+    // 1: runtime failure (no trace to report on).
+    let dir = scratch_dir("exit-codes");
+    std::fs::create_dir_all(&dir).unwrap();
+    let runtime = bin()
+        .args(["trace", "report", "--trace-dir"])
+        .arg(&dir)
+        .output()
+        .expect("run trace report");
+    assert_eq!(runtime.status.code(), Some(1), "runtime failures exit 1");
+    // 3: hunt completed, but a job was quarantined (injected panic).
+    let quarantined = bin()
+        .args([
+            "hunt", "--corpus", "6", "--budget", "4", "--trials", "1", "--workers", "2",
+            "--seed", "3", "--fault-plan", "panic=1",
+        ])
+        .output()
+        .expect("run faulted hunt");
+    assert_eq!(
+        quarantined.status.code(),
+        Some(3),
+        "quarantines exit 3; stderr: {}",
+        String::from_utf8_lossy(&quarantined.stderr)
+    );
+    assert!(
+        stdout(&quarantined).contains("quarantined 1 job(s)"),
+        "stdout: {}",
+        stdout(&quarantined)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn supervised_crash_injection_quarantines_and_exits_3() {
+    // A worker that aborts on job 2 burns the crash budget; the supervisor
+    // quarantines exactly that job, the rest of the campaign completes, and
+    // the exit code says "finished with quarantines".
+    let out = bin()
+        .args(small_hunt("5"))
+        .args(["--supervise", "--fault-plan", "abort=2"])
+        .output()
+        .expect("run aborting hunt");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("quarantined 1 job(s)"), "stdout: {text}");
+    assert!(text.contains("crash: 1"), "quarantine must be crash-kinded: {text}");
+    assert!(
+        text.contains("worker process died while job 2 was in flight"),
+        "quarantine must name the in-flight job: {text}"
+    );
+}
+
 #[test]
 fn hunt_trace_round_trips_through_trace_report() {
     let dir = scratch_dir("hunt-trace");

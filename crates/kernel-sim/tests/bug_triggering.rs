@@ -212,7 +212,12 @@ fn blk_write_prog() -> Program {
 #[test]
 fn bug4_blk_io_error_under_some_interleaving() {
     let booted = boot(KernelConfig::v5_3_10());
-    let (_p, consoles) = run_many(&booted, &blk_shrink_prog(), &blk_write_prog(), 128);
+    // 256 attempts, not 128: the window where bug #4's capacity shrink can
+    // race the in-flight write is narrow, and which seeds open it depends on
+    // the RNG stream. A 256-seed sweep covers every stream observed so far
+    // (a vendored rand first hits it at seed 184) and is a strict superset
+    // of the original 128, so previously passing builds keep passing.
+    let (_p, consoles) = run_many(&booted, &blk_shrink_prog(), &blk_write_prog(), 256);
     assert!(
         consoles
             .iter()
@@ -224,7 +229,7 @@ fn bug4_blk_io_error_under_some_interleaving() {
 #[test]
 fn bug4_gone_in_patched_build() {
     let booted = boot(KernelConfig::v5_3_10().patched());
-    let (_p, consoles) = run_many(&booted, &blk_shrink_prog(), &blk_write_prog(), 128);
+    let (_p, consoles) = run_many(&booted, &blk_shrink_prog(), &blk_write_prog(), 256);
     assert!(!consoles
         .iter()
         .any(|l| l.contains("Blk_update_request: IO error")));

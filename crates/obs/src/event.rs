@@ -6,7 +6,7 @@
 //! directions; `from_json` rejects unknown discriminators and missing or
 //! mistyped fields, which is what the CI trace-validation job leans on.
 //!
-//! Six event kinds exist:
+//! Seven event kinds exist:
 //!
 //! | `ev`         | payload                                                |
 //! |--------------|--------------------------------------------------------|
@@ -15,6 +15,7 @@
 //! | `count`      | `key`, `n` — a monotonic counter increment             |
 //! | `hist`       | `key`, `v` — one histogram observation                 |
 //! | `job`        | one campaign job's resolution (totals + quarantine bit)|
+//! | `worker`     | one supervised-worker lifecycle transition             |
 //! | `summary`    | the run's funnel + `CampaignReport` totals             |
 //!
 //! The `summary` event is emitted last, from the authoritative
@@ -83,6 +84,19 @@ pub enum Event {
         /// True if the job was quarantined instead of completing.
         quarantined: bool,
     },
+    /// One supervised-worker lifecycle transition (multi-process campaigns
+    /// only). Actions: `spawn`, `restart`, `exit`, `heartbeat-miss`,
+    /// `give-up`.
+    Worker {
+        /// Microseconds since tracer origin.
+        t: u64,
+        /// Worker shard index.
+        worker: u64,
+        /// Lifecycle action.
+        action: String,
+        /// Human-readable context (exit status, pending count, ...).
+        detail: String,
+    },
     /// Final run summary: the funnel plus `CampaignReport` totals.
     Summary {
         /// Microseconds since tracer origin.
@@ -143,6 +157,7 @@ impl Event {
             Event::Count { .. } => "count",
             Event::Hist { .. } => "hist",
             Event::Job { .. } => "job",
+            Event::Worker { .. } => "worker",
             Event::Summary { .. } => "summary",
         }
     }
@@ -186,6 +201,13 @@ impl Event {
                 ("findings", Json::U64(*findings)),
                 ("attempts", Json::U64(*attempts)),
                 ("quarantined", Json::Bool(*quarantined)),
+            ]),
+            Event::Worker { t, worker, action, detail } => obj(vec![
+                ("t", Json::U64(*t)),
+                ("ev", ev),
+                ("worker", Json::U64(*worker)),
+                ("action", Json::Str(action.clone())),
+                ("detail", Json::Str(detail.clone())),
             ]),
             Event::Summary {
                 t,
@@ -250,6 +272,12 @@ impl Event {
                 attempts: field_u64(doc, "attempts")?,
                 quarantined: field_bool(doc, "quarantined")?,
             }),
+            "worker" => Ok(Event::Worker {
+                t,
+                worker: field_u64(doc, "worker")?,
+                action: field_str(doc, "action")?,
+                detail: field_str(doc, "detail")?,
+            }),
             "summary" => Ok(Event::Summary {
                 t,
                 profiles: field_u64(doc, "profiles")?,
@@ -297,6 +325,12 @@ mod tests {
             attempts: 2,
             quarantined: false,
         });
+        roundtrip(Event::Worker {
+            t: 5,
+            worker: 2,
+            action: "heartbeat-miss".into(),
+            detail: "silent for 10.2s".into(),
+        });
         roundtrip(Event::Summary {
             t: 4,
             profiles: 100,
@@ -322,6 +356,7 @@ mod tests {
         assert!(Event::parse_line("{\"t\":0,\"ev\":\"count\",\"key\":\"k\",\"n\":\"1\"}").is_err());
         // Missing field.
         assert!(Event::parse_line("{\"t\":0,\"ev\":\"span_end\",\"span\":1,\"name\":\"x\"}").is_err());
+        assert!(Event::parse_line("{\"t\":0,\"ev\":\"worker\",\"worker\":1,\"action\":\"spawn\"}").is_err());
         // Not JSON at all.
         assert!(Event::parse_line("not json").is_err());
     }

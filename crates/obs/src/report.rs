@@ -99,6 +99,10 @@ pub struct TraceReport {
     pub spans: BTreeMap<String, SpanSummary>,
     /// Per-job totals, in emission order.
     pub jobs: Vec<JobSummary>,
+    /// Supervised-worker lifecycle action counts (`spawn`, `restart`,
+    /// `exit`, `heartbeat-miss`, `give-up`), by action. Empty for
+    /// single-process runs.
+    pub worker_actions: BTreeMap<String, u64>,
     /// The final summary event, if the run emitted one.
     pub summary: Option<Event>,
 }
@@ -132,6 +136,9 @@ impl TraceReport {
                 }
                 Event::Job { job, trials, steps, findings, attempts, quarantined, .. } => {
                     r.jobs.push(JobSummary { job, trials, steps, findings, attempts, quarantined });
+                }
+                Event::Worker { ref action, .. } => {
+                    *r.worker_actions.entry(action.clone()).or_insert(0) += 1;
                 }
                 Event::Summary { .. } => {
                     if r.summary.is_some() {
@@ -206,7 +213,38 @@ impl TraceReport {
         check("trials", f.trials, trials);
         check("steps", job_steps, steps);
         check("quarantined", job_quarantined, quarantined);
+        self.verify_supervision(&mut mismatches);
         mismatches
+    }
+
+    /// Cross-checks supervisor lifecycle events against the `supervise.*`
+    /// counters. Only applies to supervised runs — a trace with neither
+    /// worker events nor supervise counters passes vacuously.
+    fn verify_supervision(&self, mismatches: &mut Vec<String>) {
+        let action = |a: &str| self.worker_actions.get(a).copied().unwrap_or(0);
+        let supervised = !self.worker_actions.is_empty()
+            || self.counters.keys().any(|k| k.starts_with("supervise."));
+        if !supervised {
+            return;
+        }
+        let mut check = |what: &str, events: u64, counter: u64| {
+            if events != counter {
+                mismatches.push(format!(
+                    "{what}: worker events say {events}, counter says {counter}"
+                ));
+            }
+        };
+        check("worker spawns", action("spawn"), self.counter(keys::SUPERVISE_SPAWNS));
+        check("worker restarts", action("restart"), self.counter(keys::SUPERVISE_RESPAWNS));
+        check(
+            "worker heartbeat misses",
+            action("heartbeat-miss"),
+            self.counter(keys::SUPERVISE_HEARTBEAT_MISSES),
+        );
+        check("abandoned shards", action("give-up"), self.counter(keys::SUPERVISE_GAVE_UP));
+        // Every process that started (spawn or restart) must have exited by
+        // the time the trace completes — the no-orphans invariant.
+        check("worker exits", action("exit"), action("spawn") + action("restart"));
     }
 
     /// Renders the human-readable report: per-stage wall clock, funnel
@@ -245,6 +283,11 @@ impl TraceReport {
             keys::STORE_RECORDS_HEALED,
             keys::WATCHDOG_FIRES,
             keys::RETRIES,
+            keys::SUPERVISE_SPAWNS,
+            keys::SUPERVISE_RESPAWNS,
+            keys::SUPERVISE_CRASHES,
+            keys::SUPERVISE_HEARTBEAT_MISSES,
+            keys::SUPERVISE_GAVE_UP,
             keys::FINDINGS,
         ];
         let shown: Vec<(&str, u64)> = interesting
@@ -255,6 +298,12 @@ impl TraceReport {
             let _ = writeln!(out, "\ncounters:");
             for (k, v) in shown {
                 let _ = writeln!(out, "  {k:<28} {v:>10}");
+            }
+        }
+        if !self.worker_actions.is_empty() {
+            let _ = writeln!(out, "\nsupervised workers:");
+            for (action, n) in &self.worker_actions {
+                let _ = writeln!(out, "  {action:<28} {n:>10}");
             }
         }
         for (k, h) in &self.hists {
@@ -378,6 +427,65 @@ mod tests {
         assert!(err.starts_with("line 1:"), "{err}");
         let err = TraceReport::from_lines(["", "garbage"]).unwrap_err();
         assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    fn worker_line(action: &str, worker: u64) -> String {
+        Event::Worker {
+            t: 0,
+            worker,
+            action: action.into(),
+            detail: String::new(),
+        }
+        .to_json()
+        .render()
+    }
+
+    #[test]
+    fn supervision_events_verify_against_counters() {
+        let mut lines = traced_run();
+        let count = |key: &str, n: u64| {
+            Event::Count { t: 0, key: key.into(), n }.to_json().render()
+        };
+        lines.insert(0, worker_line("spawn", 0));
+        lines.insert(1, worker_line("spawn", 1));
+        lines.insert(2, worker_line("restart", 1));
+        lines.insert(3, worker_line("heartbeat-miss", 1));
+        lines.insert(4, worker_line("exit", 0));
+        lines.insert(5, worker_line("exit", 1));
+        lines.insert(6, worker_line("exit", 1));
+        lines.insert(7, count(keys::SUPERVISE_SPAWNS, 2));
+        lines.insert(8, count(keys::SUPERVISE_RESPAWNS, 1));
+        lines.insert(9, count(keys::SUPERVISE_HEARTBEAT_MISSES, 1));
+        let r = TraceReport::from_lines(lines.iter().map(String::as_str)).unwrap();
+        assert_eq!(r.worker_actions["spawn"], 2);
+        assert!(r.verify().is_empty(), "{:?}", r.verify());
+        assert!(r.render().contains("supervised workers:"));
+    }
+
+    #[test]
+    fn supervision_mismatches_are_detected() {
+        // A spawn event with no matching exit: the no-orphans check trips.
+        let mut lines = traced_run();
+        lines.insert(0, worker_line("spawn", 0));
+        let r = TraceReport::from_lines(lines.iter().map(String::as_str)).unwrap();
+        let mismatches = r.verify();
+        assert!(
+            mismatches.iter().any(|m| m.starts_with("worker exits:")),
+            "{mismatches:?}"
+        );
+        assert!(
+            mismatches.iter().any(|m| m.starts_with("worker spawns:")),
+            "spawn counter missing: {mismatches:?}"
+        );
+    }
+
+    #[test]
+    fn single_process_traces_skip_supervision_checks() {
+        let lines = traced_run();
+        let r = TraceReport::from_lines(lines.iter().map(String::as_str)).unwrap();
+        assert!(r.worker_actions.is_empty());
+        assert!(r.verify().is_empty());
+        assert!(!r.render().contains("supervised workers:"));
     }
 
     #[test]

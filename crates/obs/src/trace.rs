@@ -78,6 +78,16 @@ pub mod keys {
     pub const STORE_RECORDS_DAMAGED: &str = "store.records_damaged";
     /// Damaged store records recomputed and rewritten.
     pub const STORE_RECORDS_HEALED: &str = "store.records_healed";
+    /// Worker processes spawned by the campaign supervisor (initial spawns).
+    pub const SUPERVISE_SPAWNS: &str = "supervise.spawns";
+    /// Worker processes respawned after a death.
+    pub const SUPERVISE_RESPAWNS: &str = "supervise.respawns";
+    /// Worker deaths treated as crashes.
+    pub const SUPERVISE_CRASHES: &str = "supervise.crashes";
+    /// Workers killed for heartbeat silence.
+    pub const SUPERVISE_HEARTBEAT_MISSES: &str = "supervise.heartbeat_misses";
+    /// Shards abandoned by the crash-loop circuit breaker.
+    pub const SUPERVISE_GAVE_UP: &str = "supervise.gave_up";
     /// Detector findings (pre-dedup), all kinds.
     pub const FINDINGS: &str = "detect.findings";
     /// Three-thread trials executed.

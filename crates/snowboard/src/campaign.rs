@@ -169,6 +169,9 @@ pub struct CampaignReport {
     /// Profile/PMC store counters, when the pipeline ran against a persistent
     /// store (`None` for in-memory runs).
     pub store: Option<crate::metrics::StoreStats>,
+    /// Process-supervision counters, when the campaign ran under the
+    /// multi-process supervisor (`None` for in-process runs).
+    pub supervise: Option<crate::metrics::SuperviseStats>,
 }
 
 impl CampaignReport {
@@ -421,7 +424,7 @@ pub fn test_one_pmc(
 
 /// What one campaign job resolved to after all retry attempts.
 #[derive(Clone, Debug)]
-enum JobVerdict {
+pub(crate) enum JobVerdict {
     /// The job completed and produced an outcome.
     Completed(PmcTestOutcome),
     /// The job failed permanently and was set aside.
@@ -433,7 +436,7 @@ enum JobVerdict {
 /// `slot` holds the worker's executor; it is dropped and rebuilt whenever a
 /// panic or executor error may have left it corrupt.
 #[allow(clippy::too_many_arguments)]
-fn run_one_job(
+pub(crate) fn run_one_job(
     slot: &mut Option<Executor>,
     job: usize,
     id: PmcId,
@@ -500,6 +503,69 @@ fn run_one_job(
     }
 }
 
+/// Loads and validates the resume checkpoint from `cfg`, or begins a fresh
+/// one. Shared by the in-process campaign and both sides of the
+/// multi-process supervisor (which resumes workers from the supervisor's
+/// own merged checkpoint).
+pub(crate) fn load_or_begin_checkpoint(
+    cfg: &CampaignCfg,
+    budgeted: &[PmcId],
+) -> SbResult<Checkpoint> {
+    match &cfg.resume_from {
+        Some(path) => {
+            let loaded = Checkpoint::load(path)
+                .and_then(|cp| cp.validate(cfg.seed, budgeted).map(|()| cp));
+            match loaded {
+                Ok(cp) => Ok(cp),
+                Err(e) if cfg.resume_lenient => {
+                    eprintln!(
+                        "[campaign] warning: ignoring unusable checkpoint {}: {e} — starting fresh",
+                        path.display()
+                    );
+                    Ok(Checkpoint::begin(cfg.seed, budgeted))
+                }
+                Err(e) => Err(e),
+            }
+        }
+        None => Ok(Checkpoint::begin(cfg.seed, budgeted)),
+    }
+}
+
+/// Emits the per-job trace record and counters for a resolved job —
+/// identical whether the verdict arrived from an in-process pool worker or
+/// over the supervisor's wire protocol, so supervised traces verify with
+/// the same rules.
+pub(crate) fn trace_job_verdict(tracer: &sb_obs::Tracer, job: usize, v: &JobVerdict) {
+    match v {
+        JobVerdict::Completed(out) => {
+            tracer.emit(&sb_obs::Event::Job {
+                t: tracer.now_us(),
+                job: job as u64,
+                trials: u64::from(out.trials_run),
+                steps: out.steps,
+                findings: out.findings.len() as u64,
+                attempts: u64::from(out.attempts),
+                quarantined: false,
+            });
+            tracer.count(sb_obs::keys::TRIALS, u64::from(out.trials_run));
+            tracer.count(sb_obs::keys::TRIAL_STEPS, out.steps);
+            tracer.count(sb_obs::keys::JOBS_COMPLETED, 1);
+        }
+        JobVerdict::Quarantined(q) => {
+            tracer.emit(&sb_obs::Event::Job {
+                t: tracer.now_us(),
+                job: job as u64,
+                trials: 0,
+                steps: 0,
+                findings: 0,
+                attempts: u64::from(q.attempts),
+                quarantined: true,
+            });
+            tracer.count(sb_obs::keys::JOBS_QUARANTINED, 1);
+        }
+    }
+}
+
 /// Folds a pool-level result into a verdict. Pool-level failures are the
 /// safety net: `run_one_job` already catches panics, so `JobError::Panic`
 /// here means the machinery around it died; `Rejected` means the queue
@@ -548,24 +614,7 @@ pub fn run_campaign(
     let index = Arc::new(IncidentalIndex::build(set));
     let _campaign_span = cfg.tracer.span("campaign");
 
-    let mut cp = match &cfg.resume_from {
-        Some(path) => {
-            let loaded = Checkpoint::load(path)
-                .and_then(|cp| cp.validate(cfg.seed, &budgeted).map(|()| cp));
-            match loaded {
-                Ok(cp) => cp,
-                Err(e) if cfg.resume_lenient => {
-                    eprintln!(
-                        "[campaign] warning: ignoring unusable checkpoint {}: {e} — starting fresh",
-                        path.display()
-                    );
-                    Checkpoint::begin(cfg.seed, &budgeted)
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        None => Checkpoint::begin(cfg.seed, &budgeted),
-    };
+    let mut cp = load_or_begin_checkpoint(cfg, &budgeted)?;
 
     // Jobs the checkpoint does not already cover, as (job index, PMC id).
     let pending: Vec<(usize, PmcId)> = budgeted
@@ -593,33 +642,13 @@ pub fn run_campaign(
         let tracer = cfg.tracer.clone();
         move |slot: usize, r: &Result<JobVerdict, JobError>| {
             let (job, id) = pending_meta[slot];
-            match fold_pool_result(job, id, r) {
+            let verdict = fold_pool_result(job, id, r);
+            trace_job_verdict(&tracer, job, &verdict);
+            match verdict {
                 JobVerdict::Completed(out) => {
-                    tracer.emit(&sb_obs::Event::Job {
-                        t: tracer.now_us(),
-                        job: job as u64,
-                        trials: u64::from(out.trials_run),
-                        steps: out.steps,
-                        findings: out.findings.len() as u64,
-                        attempts: u64::from(out.attempts),
-                        quarantined: false,
-                    });
-                    tracer.count(sb_obs::keys::TRIALS, u64::from(out.trials_run));
-                    tracer.count(sb_obs::keys::TRIAL_STEPS, out.steps);
-                    tracer.count(sb_obs::keys::JOBS_COMPLETED, 1);
                     cp.outcomes.insert(job, out);
                 }
                 JobVerdict::Quarantined(q) => {
-                    tracer.emit(&sb_obs::Event::Job {
-                        t: tracer.now_us(),
-                        job: job as u64,
-                        trials: 0,
-                        steps: 0,
-                        findings: 0,
-                        attempts: u64::from(q.attempts),
-                        quarantined: true,
-                    });
-                    tracer.count(sb_obs::keys::JOBS_QUARANTINED, 1);
                     // Rejected jobs never ran; leave them out of the
                     // checkpoint so a resumed campaign retries them.
                     if q.kind != FailureKind::Rejected {

@@ -199,7 +199,7 @@ impl Checkpoint {
     }
 }
 
-fn req_u64(doc: &Json, key: &str) -> Result<u64, String> {
+pub(crate) fn req_u64(doc: &Json, key: &str) -> Result<u64, String> {
     doc.get(key)
         .and_then(Json::as_u64)
         .ok_or_else(|| format!("missing or non-integer field \"{key}\""))
@@ -213,7 +213,7 @@ fn opt_u64(value: &Json) -> Result<Option<u64>, String> {
     }
 }
 
-fn outcome_to_json(job: usize, o: &PmcTestOutcome) -> Json {
+pub(crate) fn outcome_to_json(job: usize, o: &PmcTestOutcome) -> Json {
     Json::Obj(vec![
         ("job".into(), Json::U64(job as u64)),
         (
@@ -249,7 +249,7 @@ fn outcome_to_json(job: usize, o: &PmcTestOutcome) -> Json {
     ])
 }
 
-fn outcome_from_json(doc: &Json) -> Result<(usize, PmcTestOutcome), String> {
+pub(crate) fn outcome_from_json(doc: &Json) -> Result<(usize, PmcTestOutcome), String> {
     let job = usize::try_from(req_u64(doc, "job")?).map_err(|_| "job overflows usize")?;
     let pmc = opt_u64(doc.get("pmc").ok_or("missing pmc")?)?
         .map(|n| u32::try_from(n).map_err(|_| "pmc id overflows u32".to_string()))
@@ -382,7 +382,7 @@ fn schedule_from_json(doc: &Json) -> Result<Schedule, String> {
     Ok(Schedule { switches, picks })
 }
 
-fn quarantine_to_json(q: &QuarantineRecord) -> Json {
+pub(crate) fn quarantine_to_json(q: &QuarantineRecord) -> Json {
     Json::Obj(vec![
         ("job".into(), Json::U64(q.job as u64)),
         (
@@ -398,7 +398,7 @@ fn quarantine_to_json(q: &QuarantineRecord) -> Json {
     ])
 }
 
-fn quarantine_from_json(doc: &Json) -> Result<QuarantineRecord, String> {
+pub(crate) fn quarantine_from_json(doc: &Json) -> Result<QuarantineRecord, String> {
     let kind_tag = doc
         .get("kind")
         .and_then(Json::as_str)

@@ -90,6 +90,13 @@ pub enum Error {
         /// What differed.
         detail: String,
     },
+    /// The process supervisor itself failed (a worker could not be spawned,
+    /// a stdout pipe could not be set up). Campaign-level: per-worker
+    /// crashes are quarantine data, not errors.
+    Supervise {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl Error {
@@ -119,6 +126,7 @@ impl Error {
             Error::CheckpointIo { .. }
             | Error::CheckpointFormat { .. }
             | Error::ResumeMismatch { .. } => FailureKind::Checkpoint,
+            Error::Supervise { .. } => FailureKind::Crash,
         }
     }
 
@@ -167,6 +175,9 @@ impl std::fmt::Display for Error {
             Error::ResumeMismatch { detail } => {
                 write!(f, "checkpoint belongs to a different campaign: {detail}")
             }
+            Error::Supervise { detail } => {
+                write!(f, "process supervisor failed: {detail}")
+            }
         }
     }
 }
@@ -208,6 +219,14 @@ pub enum FailureKind {
     Injected,
     /// Checkpoint I/O or format trouble.
     Checkpoint,
+    /// The worker *process* running the job died (nonzero exit, signal, or
+    /// heartbeat-timeout kill) and the job's crash budget is exhausted.
+    Crash,
+    /// The worker process crash-looped and its shard was abandoned; this
+    /// job never got a verdict. Like [`FailureKind::Rejected`], gave-up
+    /// records are *not* persisted to checkpoints — a resumed campaign
+    /// retries the shard.
+    GaveUp,
 }
 
 impl FailureKind {
@@ -222,6 +241,8 @@ impl FailureKind {
             FailureKind::Hang => "hang",
             FailureKind::Injected => "injected",
             FailureKind::Checkpoint => "checkpoint",
+            FailureKind::Crash => "crash",
+            FailureKind::GaveUp => "gave-up",
         }
     }
 
@@ -236,6 +257,8 @@ impl FailureKind {
             "hang" => FailureKind::Hang,
             "injected" => FailureKind::Injected,
             "checkpoint" => FailureKind::Checkpoint,
+            "crash" => FailureKind::Crash,
+            "gave-up" => FailureKind::GaveUp,
             _ => return None,
         })
     }
@@ -294,6 +317,8 @@ mod tests {
             FailureKind::Hang,
             FailureKind::Injected,
             FailureKind::Checkpoint,
+            FailureKind::Crash,
+            FailureKind::GaveUp,
         ] {
             assert_eq!(FailureKind::from_tag(kind.tag()), Some(kind));
         }

@@ -7,6 +7,15 @@
 //! expiry, transient errors that succeed on retry, and early queue closure.
 //! Plans are plain data, always compiled in, and empty by default, so
 //! production campaigns pay only a couple of set lookups per job.
+//!
+//! The supervised (multi-process) campaign adds *process-level* faults that
+//! fire in the worker entrypoint before the job is attempted: `abort`
+//! (SIGABRT, no unwinding — the failure PR 1's catch-unwind cannot catch),
+//! `exit` with a chosen code, and `stall` (the worker goes silent without
+//! dying, exercising the supervisor's heartbeat timeout). Plans parse from
+//! a compact spec string ([`FaultPlan::parse_spec`]) so the CLI
+//! (`--fault-plan`) and the `SB_PROCESS_FAULTS` worker environment variable
+//! can script supervisor behaviour without real OOM kills.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -27,6 +36,17 @@ pub struct FaultPlan {
     /// Close the work queue before enqueueing this job index; it and all
     /// later jobs are rejected. Exercises queue-closure handling.
     pub close_queue_before: Option<usize>,
+    /// Jobs on which a worker *process* calls `abort()` before attempting
+    /// the job. Only honoured in the supervised worker entrypoint.
+    pub abort_jobs: BTreeSet<usize>,
+    /// Jobs on which a worker process exits with the given code before
+    /// attempting the job. Only honoured in the supervised worker
+    /// entrypoint.
+    pub exit_jobs: BTreeMap<usize, i32>,
+    /// Jobs on which a worker process stops heartbeating and parks forever,
+    /// so the supervisor must detect the silence and kill it. Only honoured
+    /// in the supervised worker entrypoint.
+    pub stall_jobs: BTreeSet<usize>,
 }
 
 impl FaultPlan {
@@ -36,6 +56,9 @@ impl FaultPlan {
             && self.hang_jobs.is_empty()
             && self.transient_failures.is_empty()
             && self.close_queue_before.is_none()
+            && self.abort_jobs.is_empty()
+            && self.exit_jobs.is_empty()
+            && self.stall_jobs.is_empty()
     }
 
     /// Should `job`'s worker closure panic on this attempt?
@@ -54,6 +77,163 @@ impl FaultPlan {
             .get(&job)
             .is_some_and(|&n| attempt < n)
     }
+
+    /// Should the worker process abort before attempting `job`?
+    pub fn should_abort(&self, job: usize) -> bool {
+        self.abort_jobs.contains(&job)
+    }
+
+    /// Exit code the worker process should die with before attempting
+    /// `job`, if any.
+    pub fn exit_code(&self, job: usize) -> Option<i32> {
+        self.exit_jobs.get(&job).copied()
+    }
+
+    /// Should the worker process go silent (stop heartbeating and park)
+    /// before attempting `job`?
+    pub fn should_stall(&self, job: usize) -> bool {
+        self.stall_jobs.contains(&job)
+    }
+
+    /// Parses a compact fault spec.
+    ///
+    /// Grammar: semicolon-separated clauses, each `kind=args`:
+    ///
+    /// * `panic=J[,J...]` — in-process panic at each job index `J`
+    /// * `hang=J[,J...]` — forced watchdog expiry
+    /// * `transient=J:N[,J:N...]` — fail job `J`'s first `N` attempts
+    /// * `close=J` — close the work queue before job `J`
+    /// * `abort=J[,J...]` — worker process aborts before job `J`
+    /// * `exit=J:C[,J:C...]` — worker process exits with code `C` before `J`
+    /// * `stall=J[,J...]` — worker process goes silent before job `J`
+    ///
+    /// Example: `"abort=2;exit=5:9;transient=1:1"`. An empty string parses
+    /// to the empty (inert) plan.
+    pub fn parse_spec(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for clause in spec.split(';').filter(|c| !c.trim().is_empty()) {
+            let (kind, args) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause '{clause}' is not kind=args"))?;
+            let kind = kind.trim();
+            let items = args.split(',').map(str::trim);
+            match kind {
+                "panic" | "hang" | "abort" | "stall" => {
+                    for item in items {
+                        let job = parse_job(item, clause)?;
+                        match kind {
+                            "panic" => plan.panic_jobs.insert(job),
+                            "hang" => plan.hang_jobs.insert(job),
+                            "abort" => plan.abort_jobs.insert(job),
+                            _ => plan.stall_jobs.insert(job),
+                        };
+                    }
+                }
+                "transient" | "exit" => {
+                    for item in items {
+                        let (job, val) = item.split_once(':').ok_or_else(|| {
+                            format!("'{item}' in '{clause}' is not job:value")
+                        })?;
+                        let job = parse_job(job, clause)?;
+                        if kind == "transient" {
+                            let n: u32 = val.trim().parse().map_err(|_| {
+                                format!("bad attempt count '{val}' in '{clause}'")
+                            })?;
+                            plan.transient_failures.insert(job, n);
+                        } else {
+                            let code: i32 = val.trim().parse().map_err(|_| {
+                                format!("bad exit code '{val}' in '{clause}'")
+                            })?;
+                            plan.exit_jobs.insert(job, code);
+                        }
+                    }
+                }
+                "close" => {
+                    plan.close_queue_before = Some(parse_job(args.trim(), clause)?);
+                }
+                other => return Err(format!("unknown fault kind '{other}'")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Renders this plan back into [`FaultPlan::parse_spec`] grammar, so the
+    /// supervisor can forward a plan to worker processes on their command
+    /// line. Round-trips exactly: `parse_spec(&p.to_spec()) == p`.
+    pub fn to_spec(&self) -> String {
+        fn jobs(set: &BTreeSet<usize>) -> String {
+            set.iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+        let mut clauses = Vec::new();
+        if !self.panic_jobs.is_empty() {
+            clauses.push(format!("panic={}", jobs(&self.panic_jobs)));
+        }
+        if !self.hang_jobs.is_empty() {
+            clauses.push(format!("hang={}", jobs(&self.hang_jobs)));
+        }
+        if !self.transient_failures.is_empty() {
+            let items: Vec<String> = self
+                .transient_failures
+                .iter()
+                .map(|(j, n)| format!("{j}:{n}"))
+                .collect();
+            clauses.push(format!("transient={}", items.join(",")));
+        }
+        if let Some(j) = self.close_queue_before {
+            clauses.push(format!("close={j}"));
+        }
+        if !self.abort_jobs.is_empty() {
+            clauses.push(format!("abort={}", jobs(&self.abort_jobs)));
+        }
+        if !self.exit_jobs.is_empty() {
+            let items: Vec<String> = self
+                .exit_jobs
+                .iter()
+                .map(|(j, c)| format!("{j}:{c}"))
+                .collect();
+            clauses.push(format!("exit={}", items.join(",")));
+        }
+        if !self.stall_jobs.is_empty() {
+            clauses.push(format!("stall={}", jobs(&self.stall_jobs)));
+        }
+        clauses.join(";")
+    }
+
+    /// Merges `other` into this plan (set union; on a per-job conflict in
+    /// `transient`/`exit`/`close`, `other` wins). Lets the worker entrypoint
+    /// combine its `--fault-plan` flag with the `SB_PROCESS_FAULTS`
+    /// environment variable.
+    pub fn merge(&mut self, other: FaultPlan) {
+        self.panic_jobs.extend(other.panic_jobs);
+        self.hang_jobs.extend(other.hang_jobs);
+        self.transient_failures.extend(other.transient_failures);
+        if other.close_queue_before.is_some() {
+            self.close_queue_before = other.close_queue_before;
+        }
+        self.abort_jobs.extend(other.abort_jobs);
+        self.exit_jobs.extend(other.exit_jobs);
+        self.stall_jobs.extend(other.stall_jobs);
+    }
+
+    /// The subset of this plan a worker process honours itself (everything
+    /// except process-level faults, which the entrypoint fires, and queue
+    /// closure, which belongs to the in-process pool).
+    pub fn in_process(&self) -> FaultPlan {
+        FaultPlan {
+            panic_jobs: self.panic_jobs.clone(),
+            hang_jobs: self.hang_jobs.clone(),
+            transient_failures: self.transient_failures.clone(),
+            ..FaultPlan::default()
+        }
+    }
+}
+
+fn parse_job(s: &str, clause: &str) -> Result<usize, String> {
+    s.parse()
+        .map_err(|_| format!("bad job index '{s}' in fault clause '{clause}'"))
 }
 
 #[cfg(test)]
@@ -80,6 +260,61 @@ mod tests {
         assert!(plan.should_fail_transiently(3, 1));
         assert!(!plan.should_fail_transiently(3, 2));
         assert!(!plan.should_fail_transiently(4, 0));
+    }
+
+    #[test]
+    fn spec_round_trips_every_kind() {
+        let plan =
+            FaultPlan::parse_spec("panic=1,2;hang=3;transient=4:2;close=5;abort=6;exit=7:9;stall=8")
+                .unwrap();
+        assert_eq!(plan.panic_jobs, BTreeSet::from([1, 2]));
+        assert_eq!(plan.hang_jobs, BTreeSet::from([3]));
+        assert_eq!(plan.transient_failures, BTreeMap::from([(4, 2)]));
+        assert_eq!(plan.close_queue_before, Some(5));
+        assert!(plan.should_abort(6));
+        assert!(!plan.should_abort(5));
+        assert_eq!(plan.exit_code(7), Some(9));
+        assert_eq!(plan.exit_code(6), None);
+        assert!(plan.should_stall(8));
+        assert!(FaultPlan::parse_spec("").unwrap().is_empty());
+        assert!(FaultPlan::parse_spec("  ; ;").unwrap().is_empty());
+    }
+
+    #[test]
+    fn to_spec_round_trips_and_merge_unions() {
+        let spec = "panic=1,2;hang=3;transient=4:2;close=5;abort=6;exit=7:9;stall=8";
+        let plan = FaultPlan::parse_spec(spec).unwrap();
+        assert_eq!(FaultPlan::parse_spec(&plan.to_spec()).unwrap(), plan);
+        assert_eq!(FaultPlan::default().to_spec(), "");
+
+        let mut merged = FaultPlan::parse_spec("abort=1;exit=2:9").unwrap();
+        merged.merge(FaultPlan::parse_spec("abort=3;exit=2:7;stall=4").unwrap());
+        assert!(merged.should_abort(1) && merged.should_abort(3));
+        assert_eq!(merged.exit_code(2), Some(7), "the merged-in plan wins");
+        assert!(merged.should_stall(4));
+    }
+
+    #[test]
+    fn spec_rejects_malformed_clauses() {
+        assert!(FaultPlan::parse_spec("abort").is_err(), "missing =");
+        assert!(FaultPlan::parse_spec("frob=1").is_err(), "unknown kind");
+        assert!(FaultPlan::parse_spec("abort=x").is_err(), "bad index");
+        assert!(FaultPlan::parse_spec("exit=3").is_err(), "missing code");
+        assert!(FaultPlan::parse_spec("exit=3:x").is_err(), "bad code");
+        assert!(FaultPlan::parse_spec("transient=3").is_err(), "missing count");
+    }
+
+    #[test]
+    fn in_process_strips_process_level_faults() {
+        let plan = FaultPlan::parse_spec("panic=1;transient=2:1;abort=3;exit=4:9;stall=5;close=6")
+            .unwrap();
+        let inner = plan.in_process();
+        assert!(inner.should_panic(1));
+        assert!(inner.should_fail_transiently(2, 0));
+        assert!(!inner.should_abort(3));
+        assert_eq!(inner.exit_code(4), None);
+        assert!(!inner.should_stall(5));
+        assert_eq!(inner.close_queue_before, None);
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //! deterministic reseeds ([`retry`]), quarantined when permanent, and
 //! periodically checkpointed for kill/resume ([`checkpoint`]); [`fault`]
 //! provides deterministic fault injection for testing that machinery.
+//! [`supervise`] extends the same guarantees across *process* boundaries:
+//! the campaign can run as a supervised pool of worker processes speaking
+//! the [`protocol`] wire format, surviving aborts, OOM kills, and wedged
+//! workers that in-process catch-unwind cannot.
 //!
 //! # Examples
 //!
@@ -51,8 +55,10 @@ pub mod metrics;
 pub mod multi;
 pub mod pmc;
 pub mod profile;
+pub mod protocol;
 pub mod retry;
 pub mod select;
+pub mod supervise;
 pub mod triage;
 pub mod watchdog;
 
@@ -69,10 +75,12 @@ pub use checkpoint::{Checkpoint, CheckpointCfg};
 pub use cluster::Strategy;
 pub use error::{Error, FailureKind, SbResult};
 pub use fault::FaultPlan;
-pub use metrics::StoreStats;
+pub use metrics::{StoreStats, SuperviseStats};
 pub use pmc::{identify_sharded, IdentifyOpts, JoinReport, JoinState, Pmc, PmcId, PmcSet};
 pub use profile::{SeqProfile, SharedAccessFilter};
+pub use protocol::WorkerMsg;
 pub use retry::RetryPolicy;
+pub use supervise::{run_supervised, run_worker_shard, SuperviseCfg, WorkerCfg};
 pub use watchdog::JobBudget;
 
 /// Configuration for pipeline preparation (stages 1–2).

@@ -79,6 +79,31 @@ impl StoreStats {
     }
 }
 
+/// Process-supervision counters for one supervised campaign run.
+///
+/// Produced by [`crate::supervise::run_supervised`] and surfaced through
+/// `CampaignReport::supervise` and the CLI's `[supervise]` summary line
+/// (stderr, so supervised stdout stays byte-identical to a single-process
+/// run).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SuperviseStats {
+    /// Worker processes in the pool (shards).
+    pub workers: u64,
+    /// Initial worker spawns (== `workers` unless a shard had no work).
+    pub spawns: u64,
+    /// Respawns after a worker death.
+    pub respawns: u64,
+    /// Worker deaths treated as crashes (nonzero exit, signal, or
+    /// heartbeat-timeout kill).
+    pub crashes: u64,
+    /// Workers killed for going silent past the heartbeat timeout.
+    pub heartbeat_misses: u64,
+    /// Shards abandoned by the crash-loop circuit breaker.
+    pub shards_abandoned: u64,
+    /// True when the run ended early because the stop file appeared.
+    pub stopped: bool,
+}
+
 /// Result of an interleavings-to-expose measurement.
 #[derive(Clone, Debug)]
 pub struct ExposeResult {

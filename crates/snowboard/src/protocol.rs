@@ -1,0 +1,228 @@
+//! The supervisor↔worker wire protocol.
+//!
+//! A supervised campaign re-execs the CLI as worker processes; each worker
+//! streams its progress to the supervisor as JSONL over its stdout pipe —
+//! one [`WorkerMsg`] per line, rendered with the workspace's u64-exact
+//! [`crate::json`] codec and parsed strictly (unknown discriminators,
+//! missing fields, and mistyped fields are all protocol errors; a worker
+//! that emits garbage is killed and treated as crashed).
+//!
+//! The message flow for one worker process:
+//!
+//! ```text
+//! hello ─▶ (heartbeat)* ─▶ [ start ─▶ (done | quarantine) ]* ─▶ bye
+//! ```
+//!
+//! * `hello` announces the shard and how many jobs it still has pending.
+//! * `heartbeat` is emitted from a dedicated thread on a fixed interval; a
+//!   supervisor that hears *nothing* (no message of any kind) for longer
+//!   than its heartbeat timeout kills the worker.
+//! * `start` names the job now in flight — this is the crash-attribution
+//!   record: if the process dies before the matching `done`/`quarantine`,
+//!   the supervisor charges the death to exactly this job.
+//! * `done` / `quarantine` carry the job's verdict, serialized with the
+//!   same JSON shape the checkpoint file uses, so the supervisor merges
+//!   results with the code paths PR 1 already trusts.
+//! * `bye` ends a shard cleanly (all pending jobs resolved, or a stop-file
+//!   shutdown). A worker that exits without `bye` crashed.
+
+use crate::campaign::{PmcTestOutcome, QuarantineRecord};
+use crate::checkpoint::{
+    outcome_from_json, outcome_to_json, quarantine_from_json, quarantine_to_json, req_u64,
+};
+use crate::json::{self, Json};
+
+/// One worker→supervisor message (one JSONL line on the worker's stdout).
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkerMsg {
+    /// First message after startup: shard identity and pending job count.
+    Hello {
+        /// This worker's shard index (0-based).
+        shard: usize,
+        /// Total shard count.
+        of: usize,
+        /// Jobs this worker still has to run (shard minus checkpoint).
+        pending: usize,
+    },
+    /// Liveness signal, emitted on a fixed interval.
+    Heartbeat,
+    /// Job `job` is now in flight.
+    Start {
+        /// Campaign job index.
+        job: usize,
+    },
+    /// Job `job` completed with an outcome.
+    Done {
+        /// Campaign job index.
+        job: usize,
+        /// The completed outcome.
+        outcome: PmcTestOutcome,
+    },
+    /// A job failed permanently *in process* (hang, retry exhaustion) and
+    /// was quarantined by the worker itself.
+    Quarantine {
+        /// The quarantine record (carries its own job index).
+        record: QuarantineRecord,
+    },
+    /// Clean end of shard.
+    Bye {
+        /// Jobs resolved (done + quarantined) this process lifetime.
+        completed: usize,
+        /// True when the worker exited early because the stop file
+        /// appeared; remaining jobs are intentionally unrun.
+        stopped: bool,
+    },
+}
+
+impl WorkerMsg {
+    /// The `msg` discriminator.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WorkerMsg::Hello { .. } => "hello",
+            WorkerMsg::Heartbeat => "heartbeat",
+            WorkerMsg::Start { .. } => "start",
+            WorkerMsg::Done { .. } => "done",
+            WorkerMsg::Quarantine { .. } => "quarantine",
+            WorkerMsg::Bye { .. } => "bye",
+        }
+    }
+
+    /// Renders the message as one JSON object (one line, sans newline).
+    pub fn to_json(&self) -> Json {
+        let msg = ("msg".to_string(), Json::Str(self.kind().to_owned()));
+        match self {
+            WorkerMsg::Hello { shard, of, pending } => Json::Obj(vec![
+                msg,
+                ("shard".into(), Json::U64(*shard as u64)),
+                ("of".into(), Json::U64(*of as u64)),
+                ("pending".into(), Json::U64(*pending as u64)),
+            ]),
+            WorkerMsg::Heartbeat => Json::Obj(vec![msg]),
+            WorkerMsg::Start { job } => {
+                Json::Obj(vec![msg, ("job".into(), Json::U64(*job as u64))])
+            }
+            WorkerMsg::Done { job, outcome } => Json::Obj(vec![
+                msg,
+                // The outcome object embeds the job index, matching the
+                // checkpoint's on-disk shape.
+                ("outcome".into(), outcome_to_json(*job, outcome)),
+            ]),
+            WorkerMsg::Quarantine { record } => {
+                Json::Obj(vec![msg, ("record".into(), quarantine_to_json(record))])
+            }
+            WorkerMsg::Bye { completed, stopped } => Json::Obj(vec![
+                msg,
+                ("completed".into(), Json::U64(*completed as u64)),
+                ("stopped".into(), Json::Bool(*stopped)),
+            ]),
+        }
+    }
+
+    /// Renders the message as one protocol line.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parses and schema-validates one protocol line.
+    pub fn parse_line(line: &str) -> Result<WorkerMsg, String> {
+        let doc = json::parse(line)?;
+        Self::from_json(&doc)
+    }
+
+    /// Parses and schema-validates one protocol JSON object.
+    pub fn from_json(doc: &Json) -> Result<WorkerMsg, String> {
+        let kind = doc
+            .get("msg")
+            .and_then(Json::as_str)
+            .ok_or("missing 'msg' discriminator")?;
+        let usize_field = |key: &str| -> Result<usize, String> {
+            usize::try_from(req_u64(doc, key)?).map_err(|_| format!("'{key}' overflows usize"))
+        };
+        match kind {
+            "hello" => Ok(WorkerMsg::Hello {
+                shard: usize_field("shard")?,
+                of: usize_field("of")?,
+                pending: usize_field("pending")?,
+            }),
+            "heartbeat" => Ok(WorkerMsg::Heartbeat),
+            "start" => Ok(WorkerMsg::Start { job: usize_field("job")? }),
+            "done" => {
+                let (job, outcome) =
+                    outcome_from_json(doc.get("outcome").ok_or("done without outcome")?)?;
+                Ok(WorkerMsg::Done { job, outcome })
+            }
+            "quarantine" => Ok(WorkerMsg::Quarantine {
+                record: quarantine_from_json(doc.get("record").ok_or("quarantine without record")?)?,
+            }),
+            "bye" => Ok(WorkerMsg::Bye {
+                completed: usize_field("completed")?,
+                stopped: doc
+                    .get("stopped")
+                    .and_then(Json::as_bool)
+                    .ok_or("bye without stopped flag")?,
+            }),
+            other => Err(format!("unknown worker message '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::FailureKind;
+
+    fn roundtrip(msg: WorkerMsg) {
+        let line = msg.render();
+        assert_eq!(WorkerMsg::parse_line(&line).unwrap(), msg, "line: {line}");
+    }
+
+    fn outcome() -> PmcTestOutcome {
+        PmcTestOutcome {
+            pmc: Some(7),
+            pair: (1, 2),
+            trials_run: 24,
+            exercised: true,
+            findings: vec![sb_detect::Finding::Deadlock],
+            steps: 9000,
+            first_finding_trial: Some(3),
+            repro_schedule: None,
+            attempts: 2,
+        }
+    }
+
+    #[test]
+    fn all_kinds_round_trip() {
+        roundtrip(WorkerMsg::Hello { shard: 1, of: 3, pending: 14 });
+        roundtrip(WorkerMsg::Heartbeat);
+        roundtrip(WorkerMsg::Start { job: 42 });
+        roundtrip(WorkerMsg::Done { job: 42, outcome: outcome() });
+        roundtrip(WorkerMsg::Quarantine {
+            record: QuarantineRecord {
+                job: 9,
+                pmc: Some(3),
+                attempts: 3,
+                kind: FailureKind::Hang,
+                chain: vec!["job hang: watchdog tripped".into()],
+            },
+        });
+        roundtrip(WorkerMsg::Bye { completed: 14, stopped: false });
+        roundtrip(WorkerMsg::Bye { completed: 2, stopped: true });
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        assert!(WorkerMsg::parse_line("not json").is_err());
+        assert!(WorkerMsg::parse_line("{\"msg\":\"nope\"}").is_err());
+        assert!(WorkerMsg::parse_line("{\"job\":1}").is_err(), "no discriminator");
+        assert!(WorkerMsg::parse_line("{\"msg\":\"start\"}").is_err(), "missing job");
+        assert!(
+            WorkerMsg::parse_line("{\"msg\":\"start\",\"job\":\"x\"}").is_err(),
+            "mistyped job"
+        );
+        assert!(WorkerMsg::parse_line("{\"msg\":\"done\"}").is_err(), "missing outcome");
+        assert!(
+            WorkerMsg::parse_line("{\"msg\":\"bye\",\"completed\":1}").is_err(),
+            "missing stopped"
+        );
+    }
+}
