@@ -213,6 +213,7 @@ mod tests {
             quarantined: vec![],
             store: None,
             supervise: None,
+            fleet: None,
         };
         assert_eq!(issues_cell(&report), "#13 (1.0)");
     }

@@ -4,7 +4,7 @@ use std::path::PathBuf;
 
 use sb_kernel::{KernelConfig, KernelVersion};
 use snowboard::cluster::Strategy;
-use snowboard::FaultPlan;
+use snowboard::{FaultPlan, NetFaultPlan};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -15,6 +15,8 @@ USAGE:
 
 COMMANDS:
     hunt          run the full pipeline and a campaign
+    hunt serve    run a campaign as a fleet coordinator over TCP
+    hunt join     join a fleet coordinator as a worker
     strategies    show per-strategy cluster counts for a corpus
     list-bugs     print the ground-truth issue registry (Table 2)
     repro         reproduce one known bug with its PMC-hinted schedule
@@ -56,6 +58,28 @@ OPTIONS (hunt):
     --fault-plan <SPEC>           inject scripted faults for testing, e.g.
                                   'panic=3;transient=1:2;abort=2;stall=5'
                                   (abort/exit/stall need --supervise)
+
+OPTIONS (hunt serve), in addition to the hunt options:
+    --listen <ADDR>               TCP address to listen on, e.g.
+                                  127.0.0.1:7070 (required; port 0 picks a
+                                  free port, printed on stderr)
+    --lease-ms <N>                reclaim a worker's unfinished jobs N ms
+                                  after leasing them [default: 30000]
+    --batch <N>                   jobs granted per lease [default: 4]
+    --crash-budget <N>            connection deaths charged to one job
+                                  before it is quarantined [default: 2]
+    --stop-file and --heartbeat-ms apply as under --supervise; the merged
+    report is bit-identical to a plain hunt with the same flags.
+
+OPTIONS (hunt join <ADDR>), in addition to the hunt options:
+    --batch <N>                   jobs requested per lease [default: 4]
+    --connect-retries <N>         consecutive failed connect attempts
+                                  before giving up [default: 5]
+    --net-faults <SPEC>           inject network faults, e.g.
+                                  'drop=0:6;delay=1:50;garble=2:3'
+                                  (also read from SB_NET_FAULTS)
+    The campaign flags (--seed, --corpus, --budget, --trials, ...) must
+    match the coordinator's: the handshake rejects a mismatch.
 
 OPTIONS (strategies):   --version, --patched, --seed, --corpus
 OPTIONS (repro):        --bug <1|2|3|4|11|12> (console-detectable bugs)
@@ -127,12 +151,84 @@ pub struct HuntOpts {
     pub worker_shard: Option<(usize, usize)>,
 }
 
+/// Options for `hunt serve` (fleet coordinator).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeOpts {
+    /// The underlying campaign options.
+    pub hunt: HuntOpts,
+    /// TCP listen address.
+    pub listen: String,
+    /// Lease deadline in milliseconds.
+    pub lease_ms: u64,
+    /// Jobs granted per lease.
+    pub batch: usize,
+    /// Connection deaths charged to one job before quarantine.
+    pub crash_budget: u32,
+}
+
+/// Options for `hunt join <addr>` (fleet worker).
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinOpts {
+    /// The campaign options (must match the coordinator's).
+    pub hunt: HuntOpts,
+    /// Coordinator address.
+    pub addr: String,
+    /// Jobs requested per lease.
+    pub batch: usize,
+    /// Consecutive failed connect attempts before giving up.
+    pub connect_retries: u32,
+    /// Injected network faults (flag and `SB_NET_FAULTS` merged).
+    pub net_faults: NetFaultPlan,
+}
+
+/// Parse-time sanity for the timing knobs shared by `--supervise` and the
+/// fleet commands. `lease_ms`/`batch` are `None` for modes without those
+/// flags. The lease deadline must exceed the worker heartbeat interval
+/// (`heartbeat_ms / 4`): a shorter lease would expire between two
+/// heartbeats of a perfectly healthy worker, reassigning every job it
+/// holds.
+pub fn validate_timing(
+    heartbeat_ms: u64,
+    lease_ms: Option<u64>,
+    batch: Option<usize>,
+) -> Result<(), String> {
+    if heartbeat_ms == 0 {
+        return Err("--heartbeat-ms must be positive".into());
+    }
+    if let Some(batch) = batch {
+        if batch == 0 {
+            return Err("--batch must be at least 1".into());
+        }
+        if batch > 4096 {
+            return Err(format!("--batch must be at most 4096, got {batch}"));
+        }
+    }
+    if let Some(lease_ms) = lease_ms {
+        if lease_ms == 0 {
+            return Err("--lease-ms must be positive".into());
+        }
+        let worker_heartbeat = heartbeat_ms / 4;
+        if lease_ms <= worker_heartbeat {
+            return Err(format!(
+                "--lease-ms ({lease_ms}) must exceed the worker heartbeat interval \
+                 ({worker_heartbeat} ms = --heartbeat-ms / 4); a shorter lease expires \
+                 between two heartbeats of a healthy worker"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Parsed command.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Cmd {
     /// Full pipeline + campaign. Boxed: the options dwarf every other
     /// variant.
     Hunt(Box<HuntOpts>),
+    /// Fleet coordinator: own the job universe, lease jobs to TCP workers.
+    Serve(Box<ServeOpts>),
+    /// Fleet worker: join a coordinator and run leased jobs.
+    Join(Box<JoinOpts>),
     /// Cluster-count summary.
     Strategies {
         /// Kernel configuration.
@@ -296,6 +392,42 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
         }
         "strategies" | "hunt" => {
             let is_hunt = cmd == "hunt";
+            // Fleet subcommands: `hunt serve --listen <addr> ...` and
+            // `hunt join <addr> ...`. They reuse every hunt option.
+            #[derive(PartialEq)]
+            enum Mode {
+                Local,
+                Serve,
+                Join,
+            }
+            let mut mode = Mode::Local;
+            let mut addr: Option<String> = None;
+            let mut start = 1;
+            if is_hunt {
+                match argv.get(1).map(String::as_str) {
+                    Some("serve") => {
+                        mode = Mode::Serve;
+                        start = 2;
+                    }
+                    Some("join") => {
+                        mode = Mode::Join;
+                        let a = argv
+                            .get(2)
+                            .filter(|a| !a.starts_with('-'))
+                            .ok_or("hunt join requires a coordinator address, e.g. hunt join 127.0.0.1:7070")?;
+                        addr = Some(a.clone());
+                        start = 3;
+                    }
+                    _ => {}
+                }
+            }
+            let fleet = mode != Mode::Local;
+            let mut listen: Option<String> = None;
+            let mut lease_ms = 30_000u64;
+            let mut batch = 4usize;
+            let mut crash_budget = 2u32;
+            let mut connect_retries = 5u32;
+            let mut net_faults = NetFaultPlan::default();
             let mut version = KernelVersion::V5_12Rc3;
             let mut patched = false;
             let mut strategy = Strategy::SInsPair;
@@ -318,9 +450,38 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
             let mut heartbeat_ms = 10_000u64;
             let mut fault_plan = FaultPlan::default();
             let mut worker_shard: Option<(usize, usize)> = None;
-            let mut i = 1;
+            let mut i = start;
             while i < argv.len() {
                 match argv[i].as_str() {
+                    "--listen" if mode == Mode::Serve => {
+                        listen = Some(take_value(argv, &mut i, "--listen")?.to_owned())
+                    }
+                    "--lease-ms" if mode == Mode::Serve => {
+                        lease_ms = parse_num(take_value(argv, &mut i, "--lease-ms")?, "--lease-ms")?
+                    }
+                    "--batch" if fleet => {
+                        batch = parse_num(take_value(argv, &mut i, "--batch")?, "--batch")?
+                    }
+                    "--crash-budget" if mode == Mode::Serve => {
+                        crash_budget = parse_num(
+                            take_value(argv, &mut i, "--crash-budget")?,
+                            "--crash-budget",
+                        )?
+                    }
+                    "--connect-retries" if mode == Mode::Join => {
+                        connect_retries = parse_num(
+                            take_value(argv, &mut i, "--connect-retries")?,
+                            "--connect-retries",
+                        )?;
+                        if connect_retries == 0 {
+                            return Err("--connect-retries must be at least 1".into());
+                        }
+                    }
+                    "--net-faults" if mode == Mode::Join => {
+                        net_faults =
+                            NetFaultPlan::parse_spec(take_value(argv, &mut i, "--net-faults")?)
+                                .map_err(|e| format!("--net-faults: {e}"))?
+                    }
                     "--version" => version = parse_version(take_value(argv, &mut i, "--version")?)?,
                     "--patched" => patched = true,
                     "--strategy" if is_hunt => {
@@ -396,8 +557,34 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                             it cannot be combined with --supervise"
                     .into());
             }
-            if stop_file.is_some() && !supervise && worker_shard.is_none() {
-                return Err("--stop-file requires --supervise".into());
+            if stop_file.is_some() && !supervise && worker_shard.is_none() && !fleet {
+                return Err("--stop-file requires --supervise, serve, or join".into());
+            }
+            if fleet && supervise {
+                return Err("hunt serve/join already distribute the campaign; \
+                            drop --supervise"
+                    .into());
+            }
+            if fleet && worker_shard.is_some() {
+                return Err("--worker-shard cannot be combined with serve/join".into());
+            }
+            if mode == Mode::Serve && listen.is_none() {
+                return Err("hunt serve requires --listen <addr>".into());
+            }
+            if mode == Mode::Join && (checkpoint.is_some() || resume.is_some()) {
+                return Err(
+                    "a fleet worker does not checkpoint (the coordinator does); \
+                     drop --checkpoint/--resume from hunt join"
+                        .into(),
+                );
+            }
+            // Timing sanity, shared with --supervise (exit code 2 on
+            // nonsense instead of a fleet that thrashes at runtime).
+            match mode {
+                Mode::Serve => validate_timing(heartbeat_ms, Some(lease_ms), Some(batch))?,
+                Mode::Join => validate_timing(heartbeat_ms, None, Some(batch))?,
+                Mode::Local if supervise => validate_timing(heartbeat_ms, None, None)?,
+                Mode::Local => {}
             }
             let mut config = match version {
                 KernelVersion::V5_3_10 => KernelConfig::v5_3_10(),
@@ -407,7 +594,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                 config = config.patched();
             }
             if is_hunt {
-                Ok(Cmd::Hunt(Box::new(HuntOpts {
+                let hunt = HuntOpts {
                     config,
                     strategy,
                     seed,
@@ -429,7 +616,24 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                     heartbeat_ms,
                     fault_plan,
                     worker_shard,
-                })))
+                };
+                Ok(match mode {
+                    Mode::Local => Cmd::Hunt(Box::new(hunt)),
+                    Mode::Serve => Cmd::Serve(Box::new(ServeOpts {
+                        hunt,
+                        listen: listen.expect("checked above"),
+                        lease_ms,
+                        batch,
+                        crash_budget,
+                    })),
+                    Mode::Join => Cmd::Join(Box::new(JoinOpts {
+                        hunt,
+                        addr: addr.expect("checked above"),
+                        batch,
+                        connect_retries,
+                        net_faults,
+                    })),
+                })
             } else {
                 Ok(Cmd::Strategies { config, seed, corpus })
             }
@@ -614,6 +818,86 @@ mod tests {
             parse(&argv("hunt --supervise --worker-shard 0/2")).is_err(),
             "the internal entrypoint cannot itself supervise"
         );
+    }
+
+    #[test]
+    fn parses_hunt_serve_with_fleet_flags() {
+        let cmd = parse(&argv(
+            "hunt serve --listen 127.0.0.1:0 --lease-ms 5000 --batch 2 --crash-budget 7 \
+             --seed 7 --heartbeat-ms 2000 --stop-file /tmp/stop",
+        ))
+        .unwrap();
+        match cmd {
+            Cmd::Serve(o) => {
+                assert_eq!(o.listen, "127.0.0.1:0");
+                assert_eq!(o.lease_ms, 5000);
+                assert_eq!(o.batch, 2);
+                assert_eq!(o.crash_budget, 7);
+                assert_eq!(o.hunt.seed, 7);
+                assert_eq!(o.hunt.heartbeat_ms, 2000);
+                assert_eq!(o.hunt.stop_file, Some(PathBuf::from("/tmp/stop")));
+                assert!(!o.hunt.supervise);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults.
+        match parse(&argv("hunt serve --listen 127.0.0.1:7070")).unwrap() {
+            Cmd::Serve(o) => {
+                assert_eq!((o.lease_ms, o.batch, o.crash_budget), (30_000, 4, 2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("hunt serve")).is_err(), "--listen is required");
+        assert!(parse(&argv("hunt serve --listen x --supervise")).is_err());
+        assert!(parse(&argv("hunt --lease-ms 5000")).is_err(), "serve-only flag");
+    }
+
+    #[test]
+    fn parses_hunt_join_with_fleet_flags() {
+        let cmd = parse(&argv(
+            "hunt join 10.0.0.5:7070 --batch 3 --connect-retries 9 --net-faults drop=0:6 --seed 7",
+        ))
+        .unwrap();
+        match cmd {
+            Cmd::Join(o) => {
+                assert_eq!(o.addr, "10.0.0.5:7070");
+                assert_eq!(o.batch, 3);
+                assert_eq!(o.connect_retries, 9);
+                assert!(!o.net_faults.is_empty());
+                assert_eq!(o.hunt.seed, 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("hunt join")).is_err(), "address is required");
+        assert!(parse(&argv("hunt join --batch 3")).is_err(), "address before flags");
+        assert!(parse(&argv("hunt join x:1 --connect-retries 0")).is_err());
+        assert!(parse(&argv("hunt join x:1 --net-faults frob=1")).is_err(), "bad spec");
+        assert!(parse(&argv("hunt join x:1 --checkpoint /tmp/cp")).is_err());
+        assert!(parse(&argv("hunt join x:1 --worker-shard 0/2")).is_err());
+        assert!(parse(&argv("hunt --connect-retries 2")).is_err(), "join-only flag");
+    }
+
+    #[test]
+    fn validates_fleet_timing_at_parse_time() {
+        // Zero / oversized knobs are usage errors for serve...
+        assert!(parse(&argv("hunt serve --listen x --lease-ms 0")).is_err());
+        assert!(parse(&argv("hunt serve --listen x --batch 0")).is_err());
+        assert!(parse(&argv("hunt serve --listen x --batch 5000")).is_err());
+        assert!(parse(&argv("hunt serve --listen x --heartbeat-ms 0")).is_err());
+        // ...and for join.
+        assert!(parse(&argv("hunt join x:1 --batch 0")).is_err());
+        // The lease must outlive the worker heartbeat interval (hb/4).
+        let err = parse(&argv(
+            "hunt serve --listen x --heartbeat-ms 40000 --lease-ms 10000",
+        ))
+        .unwrap_err();
+        assert!(err.contains("heartbeat interval"), "{err}");
+        // Equal-to-interval is still too short; one past it is fine.
+        assert!(validate_timing(40_000, Some(10_000), Some(4)).is_err());
+        assert!(validate_timing(40_000, Some(10_001), Some(4)).is_ok());
+        // The shared validator also guards --supervise.
+        assert!(validate_timing(0, None, None).is_err());
+        assert!(parse(&argv("hunt --supervise --heartbeat-ms 0")).is_err());
     }
 
     #[test]

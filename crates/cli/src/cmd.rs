@@ -12,11 +12,12 @@ use snowboard::pmc::identify;
 use snowboard::profile::profile_corpus;
 use snowboard::select::ClusterOrder;
 use snowboard::{
-    CampaignCfg, CheckpointCfg, FaultPlan, IdentifyOpts, JobBudget, Pipeline, PipelineCfg,
-    RetryPolicy, SuperviseCfg, WorkerCfg,
+    config_fingerprint, run_coordinator, run_join, CampaignCfg, CampaignReport, CheckpointCfg,
+    FaultPlan, FleetCfg, FleetWork, IdentifyOpts, JobBudget, JoinCfg, NetFaultPlan, Pipeline,
+    PipelineCfg, RetryPolicy, SuperviseCfg, WorkerCfg,
 };
 
-use crate::args::{Cmd, HuntOpts, USAGE};
+use crate::args::{Cmd, HuntOpts, JoinOpts, ServeOpts, USAGE};
 
 /// Dispatches a parsed command.
 pub fn run(cmd: Cmd) -> ExitCode {
@@ -33,6 +34,8 @@ pub fn run(cmd: Cmd) -> ExitCode {
         Cmd::StoreRepair { store } => store_repair(&store),
         Cmd::TraceReport { trace_dir } => trace_report(&trace_dir),
         Cmd::Hunt(opts) => hunt(*opts),
+        Cmd::Serve(opts) => serve(*opts),
+        Cmd::Join(opts) => join(*opts),
     }
 }
 
@@ -336,6 +339,158 @@ fn hunt_worker(opts: HuntOpts, shard: usize, of: usize) -> ExitCode {
     }
 }
 
+/// Opens the JSONL tracer for `--trace-dir`, degrading to a disabled
+/// tracer (with a warning) when the destination is unwritable — the
+/// campaign is the product, the trace is a diagnostic.
+fn open_tracer(trace_dir: &Option<std::path::PathBuf>) -> sb_obs::Tracer {
+    match trace_dir {
+        Some(dir) => {
+            let opened = std::fs::create_dir_all(dir)
+                .and_then(|()| sb_obs::Tracer::jsonl(&dir.join("trace.jsonl")));
+            match opened {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!(
+                        "[trace] warning: cannot write trace events under {} ({e}); \
+                         tracing disabled for this run",
+                        dir.display()
+                    );
+                    sb_obs::Tracer::disabled()
+                }
+            }
+        }
+        None => sb_obs::Tracer::disabled(),
+    }
+}
+
+/// Stages 1–2 for the hunt-family commands: in-memory, or store-backed
+/// when `--store` was given.
+fn prepare_hunt_pipeline(
+    config: KernelConfig,
+    pipeline_cfg: PipelineCfg,
+    store: &Option<std::path::PathBuf>,
+    no_cache: bool,
+    workers: usize,
+) -> Result<(Pipeline, Option<StoreStats>), ExitCode> {
+    match store {
+        Some(dir) => {
+            let mut st = match Store::open(dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    print_store_error("opening store", &e);
+                    return Err(ExitCode::FAILURE);
+                }
+            };
+            st.set_read_cache(!no_cache);
+            let shards = workers.max(1);
+            match sb_store::prepare(
+                config,
+                &pipeline_cfg,
+                &IdentifyOpts::sharded(shards, workers),
+                &mut st,
+            ) {
+                Ok((p, stats)) => {
+                    print_hunt_store_stats(&stats);
+                    Ok((p, Some(stats)))
+                }
+                Err(e) => {
+                    print_store_error("store-backed prepare", &e);
+                    Err(ExitCode::FAILURE)
+                }
+            }
+        }
+        None => Ok((Pipeline::prepare(config, pipeline_cfg), None)),
+    }
+}
+
+/// Emits the authoritative end-of-run totals that `trace report` verifies
+/// its event-level reconstruction against, then flushes the tracer.
+fn emit_summary(
+    tracer: &sb_obs::Tracer,
+    p: &Pipeline,
+    clusters: usize,
+    report: &CampaignReport,
+    trace_dir: &Option<std::path::PathBuf>,
+) {
+    tracer.emit(&sb_obs::Event::Summary {
+        t: tracer.now_us(),
+        profiles: p.profiles.len() as u64,
+        shared_accesses: p.stats.shared_accesses as u64,
+        pmcs: p.pmcs.len() as u64,
+        clusters: clusters as u64,
+        jobs: report.tested() as u64,
+        trials: report.executions,
+        steps: report.total_steps,
+        findings: report.issues.len() as u64,
+        quarantined: report.quarantined.len() as u64,
+    });
+    tracer.flush();
+    if tracer.enabled() {
+        if let Some(dir) = trace_dir {
+            eprintln!(
+                "[trace] events written to {}; inspect with `snowboard-cli trace report --trace-dir {}`",
+                dir.join("trace.jsonl").display(),
+                dir.display()
+            );
+        }
+    }
+}
+
+/// Prints the campaign report to stdout and picks the exit code. Shared by
+/// `hunt` and `hunt serve` — a fleet run's stdout is bit-identical to the
+/// single-process run's by construction.
+fn print_report(report: &CampaignReport) -> ExitCode {
+    println!(
+        "tested {} PMCs in {} executions; {:.1}% exercised their predicted channel",
+        report.tested(),
+        report.executions,
+        100.0 * report.accuracy()
+    );
+    if !report.quarantined.is_empty() {
+        println!("quarantined {} job(s):", report.quarantined.len());
+        for (kind, n) in report.quarantine_histogram() {
+            println!("  {kind}: {n}");
+        }
+        for q in &report.quarantined {
+            let pmc = q.pmc.map_or("no PMC".to_string(), |id| format!("PMC {id}"));
+            println!(
+                "  job {} ({pmc}), {} attempt(s): {}",
+                q.job,
+                q.attempts,
+                q.chain.join(" <- ")
+            );
+        }
+    }
+    // Exit 3 ("completed with quarantines") tells scripts the run finished
+    // but its coverage has holes; 0 is reserved for a fully clean campaign.
+    let final_code = if report.quarantined.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_QUARANTINED)
+    };
+    if report.issues.is_empty() {
+        println!("no issues found");
+        return final_code;
+    }
+    println!("\nissues, in discovery order:");
+    for issue in &report.issues {
+        match issue.bug_id.and_then(bugs::by_id) {
+            Some(b) => println!(
+                "  after {:>4} tests: #{} [{}] {}",
+                issue.found_after_tests,
+                b.id,
+                if b.harmful { "HARMFUL" } else { "benign" },
+                b.title
+            ),
+            None => println!(
+                "  after {:>4} tests: (untriaged) {}",
+                issue.found_after_tests, issue.key
+            ),
+        }
+    }
+    final_code
+}
+
 fn hunt(opts: HuntOpts) -> ExitCode {
     if let Some((shard, of)) = opts.worker_shard {
         return hunt_worker(opts, shard, of);
@@ -366,26 +521,7 @@ fn hunt(opts: HuntOpts) -> ExitCode {
         fault_plan,
         worker_shard: _,
     } = opts;
-    // An unwritable trace destination degrades to an untraced hunt — the
-    // campaign is the product, the trace is a diagnostic.
-    let tracer = match &trace_dir {
-        Some(dir) => {
-            let opened = std::fs::create_dir_all(dir)
-                .and_then(|()| sb_obs::Tracer::jsonl(&dir.join("trace.jsonl")));
-            match opened {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!(
-                        "[trace] warning: cannot write trace events under {} ({e}); \
-                         tracing disabled for this run",
-                        dir.display()
-                    );
-                    sb_obs::Tracer::disabled()
-                }
-            }
-        }
-        None => sb_obs::Tracer::disabled(),
-    };
+    let tracer = open_tracer(&trace_dir);
     eprintln!("[hunt] preparing pipeline ({:?})...", config.version);
     let pipeline_cfg = PipelineCfg {
         seed,
@@ -394,34 +530,10 @@ fn hunt(opts: HuntOpts) -> ExitCode {
         workers,
         tracer: tracer.clone(),
     };
-    let (p, store_stats) = match &store {
-        Some(dir) => {
-            let mut st = match Store::open(dir) {
-                Ok(s) => s,
-                Err(e) => {
-                    print_store_error("opening store", &e);
-                    return ExitCode::FAILURE;
-                }
-            };
-            st.set_read_cache(!no_cache);
-            let shards = workers.max(1);
-            match sb_store::prepare(
-                config,
-                &pipeline_cfg,
-                &IdentifyOpts::sharded(shards, workers),
-                &mut st,
-            ) {
-                Ok((p, stats)) => {
-                    print_hunt_store_stats(&stats);
-                    (p, Some(stats))
-                }
-                Err(e) => {
-                    print_store_error("store-backed prepare", &e);
-                    return ExitCode::FAILURE;
-                }
-            }
-        }
-        None => (Pipeline::prepare(config, pipeline_cfg), None),
+    let (p, store_stats) = match prepare_hunt_pipeline(config, pipeline_cfg, &store, no_cache, workers)
+    {
+        Ok(r) => r,
+        Err(code) => return code,
     };
     let clusters = p.cluster_count(strategy);
     eprintln!(
@@ -543,79 +655,213 @@ fn hunt(opts: HuntOpts) -> ExitCode {
         }
     }
     report.store = store_stats;
-    // Authoritative run totals, emitted last: `trace report` verifies its
-    // event-level reconstruction against this record.
-    tracer.emit(&sb_obs::Event::Summary {
-        t: tracer.now_us(),
-        profiles: p.profiles.len() as u64,
-        shared_accesses: p.stats.shared_accesses as u64,
-        pmcs: p.pmcs.len() as u64,
-        clusters: clusters as u64,
-        jobs: report.tested() as u64,
-        trials: report.executions,
-        steps: report.total_steps,
-        findings: report.issues.len() as u64,
-        quarantined: report.quarantined.len() as u64,
-    });
-    tracer.flush();
-    if tracer.enabled() {
-        if let Some(dir) = &trace_dir {
-            eprintln!(
-                "[trace] events written to {}; inspect with `snowboard-cli trace report --trace-dir {}`",
-                dir.join("trace.jsonl").display(),
-                dir.display()
-            );
+    emit_summary(&tracer, &p, clusters, &report, &trace_dir);
+    print_report(&report)
+}
+
+/// The campaign-shaping parameters a fleet worker must share with its
+/// coordinator for merged results to make sense, hashed for the handshake.
+/// Process/network fault plans are deliberately excluded: they change *how*
+/// a worker fails, never what a completed job computes.
+fn fleet_fingerprint(o: &HuntOpts) -> u64 {
+    config_fingerprint(&[
+        ("version", o.config.version.to_string()),
+        ("patched", o.config.patched.to_string()),
+        ("strategy", o.strategy.to_string()),
+        ("seed", o.seed.to_string()),
+        ("corpus", o.corpus.to_string()),
+        ("budget", o.budget.to_string()),
+        ("trials", o.trials.to_string()),
+        ("random_order", o.random_order.to_string()),
+        ("retries", o.retries.to_string()),
+        ("job_deadline", o.job_deadline_secs.to_string()),
+    ])
+}
+
+/// `hunt serve`: run the campaign as a fleet coordinator. Same pipeline,
+/// same report, same stdout as a plain `hunt` — the jobs just execute on
+/// whoever joins.
+fn serve(opts: ServeOpts) -> ExitCode {
+    let listener = match std::net::TcpListener::bind(&opts.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot listen on {}: {e}", opts.listen);
+            return ExitCode::FAILURE;
         }
-    }
-    println!(
-        "tested {} PMCs in {} executions; {:.1}% exercised their predicted channel",
-        report.tested(),
-        report.executions,
-        100.0 * report.accuracy()
-    );
-    if !report.quarantined.is_empty() {
-        println!("quarantined {} job(s):", report.quarantined.len());
-        for (kind, n) in report.quarantine_histogram() {
-            println!("  {kind}: {n}");
-        }
-        for q in &report.quarantined {
-            let pmc = q.pmc.map_or("no PMC".to_string(), |id| format!("PMC {id}"));
-            println!(
-                "  job {} ({pmc}), {} attempt(s): {}",
-                q.job,
-                q.attempts,
-                q.chain.join(" <- ")
-            );
-        }
-    }
-    // Exit 3 ("completed with quarantines") tells scripts the run finished
-    // but its coverage has holes; 0 is reserved for a fully clean campaign.
-    let final_code = if report.quarantined.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(EXIT_QUARANTINED)
     };
-    if report.issues.is_empty() {
-        println!("no issues found");
-        return final_code;
+    match listener.local_addr() {
+        Ok(addr) => eprintln!("[fleet] listening on {addr}"),
+        Err(_) => eprintln!("[fleet] listening on {}", opts.listen),
     }
-    println!("\nissues, in discovery order:");
-    for issue in &report.issues {
-        match issue.bug_id.and_then(bugs::by_id) {
-            Some(b) => println!(
-                "  after {:>4} tests: #{} [{}] {}",
-                issue.found_after_tests,
-                b.id,
-                if b.harmful { "HARMFUL" } else { "benign" },
-                b.title
-            ),
-            None => println!(
-                "  after {:>4} tests: (untriaged) {}",
-                issue.found_after_tests, issue.key
-            ),
+    let o = &opts.hunt;
+    let tracer = open_tracer(&o.trace_dir);
+    eprintln!("[hunt] preparing pipeline ({:?})...", o.config.version);
+    let pipeline_cfg = PipelineCfg {
+        seed: o.seed,
+        corpus_target: o.corpus,
+        fuzz_budget: (o.corpus as u64) * 15,
+        workers: o.workers,
+        tracer: tracer.clone(),
+    };
+    let (p, store_stats) =
+        match prepare_hunt_pipeline(o.config, pipeline_cfg, &o.store, o.no_cache, o.workers) {
+            Ok(r) => r,
+            Err(code) => return code,
+        };
+    let clusters = p.cluster_count(o.strategy);
+    eprintln!(
+        "[hunt] {} tests, {} PMCs, {clusters} {} clusters",
+        p.corpus.len(),
+        p.pmcs.len(),
+        o.strategy
+    );
+    let order = if o.random_order {
+        ClusterOrder::Random
+    } else {
+        ClusterOrder::UncommonFirst
+    };
+    let exemplars = p.exemplars_traced(o.strategy, order, &tracer);
+    let mut cfg = hunt_campaign_cfg(o);
+    cfg.checkpoint = o.checkpoint.clone().map(CheckpointCfg::new);
+    cfg.resume_from = o.resume.clone();
+    cfg.resume_lenient = o.resume_lenient;
+    cfg.tracer = tracer.clone();
+    // The coordinator's merged checkpoint: the user's --checkpoint path
+    // when given, else a private temp file removed after a clean finish.
+    let ckpt = o.checkpoint.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("sb-fleet-{}.json", std::process::id()))
+    });
+    let ckpt_is_temp = o.checkpoint.is_none();
+    let fcfg = FleetCfg {
+        heartbeat_timeout: std::time::Duration::from_millis(o.heartbeat_ms),
+        lease_deadline: std::time::Duration::from_millis(opts.lease_ms),
+        batch: opts.batch,
+        crash_budget: opts.crash_budget,
+        stop_file: o.stop_file.clone(),
+        checkpoint: ckpt.clone(),
+        config_hash: fleet_fingerprint(o),
+        ..FleetCfg::default()
+    };
+    eprintln!(
+        "[fleet] heartbeat timeout {} ms, lease {} ms, batch {}",
+        o.heartbeat_ms, opts.lease_ms, opts.batch
+    );
+    let mut report = match run_coordinator(listener, &exemplars, &cfg, &fcfg) {
+        Ok(r) => r,
+        Err(e) => {
+            print_campaign_error(&e);
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(s) = &report.fleet {
+        eprintln!(
+            "[fleet] {} worker(s) joined, {} rejected; {} lease(s), {} eviction(s), \
+             {} reassigned job(s), {} duplicate result(s), {} abandoned",
+            s.workers_joined,
+            s.workers_rejected,
+            s.leases_granted,
+            s.evictions,
+            s.jobs_reassigned,
+            s.duplicate_results,
+            s.gave_up_jobs
+        );
+        if s.stopped {
+            eprintln!(
+                "[fleet] stopped by stop file; resume with hunt serve --resume {}",
+                ckpt.display()
+            );
+        } else if ckpt_is_temp {
+            let _ = std::fs::remove_file(&ckpt);
         }
     }
-    final_code
+    report.store = store_stats;
+    emit_summary(&tracer, &p, clusters, &report, &o.trace_dir);
+    print_report(&report)
+}
+
+/// `hunt join`: run jobs for a fleet coordinator until it drains. Produces
+/// no report of its own — results stream to the coordinator.
+fn join(opts: JoinOpts) -> ExitCode {
+    let o = &opts.hunt;
+    let mut fault_plan = o.fault_plan.clone();
+    if let Ok(spec) = std::env::var("SB_PROCESS_FAULTS") {
+        match FaultPlan::parse_spec(&spec) {
+            Ok(env_plan) => fault_plan.merge(env_plan),
+            Err(e) => {
+                eprintln!("error: SB_PROCESS_FAULTS: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut net_faults = opts.net_faults.clone();
+    // `SB_NET_FAULTS` injects network faults without the coordinator (or a
+    // wrapper script) knowing, mimicking a flaky link.
+    if let Ok(spec) = std::env::var("SB_NET_FAULTS") {
+        match NetFaultPlan::parse_spec(&spec) {
+            Ok(env_plan) => net_faults.merge(env_plan),
+            Err(e) => {
+                eprintln!("error: SB_NET_FAULTS: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut cfg = hunt_campaign_cfg(o);
+    cfg.fault_plan = fault_plan;
+    let jcfg = JoinCfg {
+        addr: opts.addr.clone(),
+        config_hash: fleet_fingerprint(o),
+        heartbeat: std::time::Duration::from_millis((o.heartbeat_ms / 4).max(25)),
+        batch: opts.batch,
+        connect_attempts: opts.connect_retries,
+        stop_file: o.stop_file.clone(),
+        net_faults,
+        ..JoinCfg::default()
+    };
+    eprintln!("[fleet] joining coordinator at {}", opts.addr);
+    let prep = {
+        let config = o.config;
+        let pipeline_cfg = PipelineCfg {
+            seed: o.seed,
+            corpus_target: o.corpus,
+            fuzz_budget: (o.corpus as u64) * 15,
+            workers: o.workers,
+            ..PipelineCfg::default()
+        };
+        let strategy = o.strategy;
+        let order = if o.random_order {
+            ClusterOrder::Random
+        } else {
+            ClusterOrder::UncommonFirst
+        };
+        move || {
+            let p = Pipeline::prepare(config, pipeline_cfg);
+            let exemplars = p.exemplars(strategy, order);
+            Ok(FleetWork {
+                booted: p.booted,
+                corpus: p.corpus,
+                set: p.pmcs,
+                exemplars,
+            })
+        }
+    };
+    match run_join(&cfg, &jcfg, prep) {
+        Ok(s) => {
+            eprintln!(
+                "[fleet] worker done: {} job(s) over {} lease(s), {} reconnect(s){}",
+                s.jobs_completed,
+                s.leases,
+                s.reconnects,
+                if s.stopped { " (stopped by stop file)" } else { "" }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            // One line, exit 1: scripts pointed at a dead coordinator get a
+            // bounded, parseable failure, never a hang.
+            eprintln!("error: {}", e.chain().join("; "));
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Known reproduction recipes for the console-detectable bugs.

@@ -411,3 +411,224 @@ fn hunt_trace_round_trips_through_trace_report() {
     assert!(text.contains("funnel:"), "missing funnel section:\n{text}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Fleet mode (`hunt serve` / `hunt join`)
+// ---------------------------------------------------------------------------
+
+/// Spawns `hunt serve` on an ephemeral port with `extra` hunt flags and
+/// returns the child plus the address it actually bound (parsed from the
+/// `[fleet] listening on ...` stderr line). A thread keeps draining stderr
+/// into a buffer so the child can never block on a full pipe.
+fn spawn_serve(
+    tail: &[String],
+    extra: &[&str],
+) -> (
+    std::process::Child,
+    String,
+    std::sync::Arc<std::sync::Mutex<String>>,
+) {
+    use std::io::BufRead;
+    let mut child = bin()
+        .args(["hunt", "serve", "--listen", "127.0.0.1:0"])
+        .args(tail)
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn hunt serve");
+    let mut reader = std::io::BufReader::new(child.stderr.take().expect("piped stderr"));
+    let mut addr = None;
+    let mut line = String::new();
+    while reader.read_line(&mut line).expect("read serve stderr") > 0 {
+        if let Some(rest) = line.trim().strip_prefix("[fleet] listening on ") {
+            addr = Some(rest.to_owned());
+            break;
+        }
+        line.clear();
+    }
+    let addr = addr.expect("serve never printed its listen address");
+    let buf = std::sync::Arc::new(std::sync::Mutex::new(String::new()));
+    let drain = buf.clone();
+    std::thread::spawn(move || {
+        use std::io::Read;
+        let mut rest = String::new();
+        let _ = reader.read_to_string(&mut rest);
+        drain.lock().unwrap().push_str(&rest);
+    });
+    (child, addr, buf)
+}
+
+/// The hunt flags shared by the coordinator and its workers; the campaign
+/// parameters must match or the handshake rejects the worker.
+fn fleet_tail(seed: &str) -> Vec<String> {
+    small_hunt(seed)[1..].to_vec()
+}
+
+#[test]
+fn fleet_hunt_matches_the_in_process_run_bit_for_bit() {
+    // The acceptance bar for fleet mode: a coordinator plus two TCP worker
+    // processes must print exactly the report a single-process run prints.
+    let clean = bin().args(small_hunt("17")).output().expect("run hunt");
+    assert!(clean.status.success(), "stderr: {}", String::from_utf8_lossy(&clean.stderr));
+
+    let (serve, addr, serve_err) = spawn_serve(&fleet_tail("17"), &["--batch", "2"]);
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            bin()
+                .args(["hunt", "join", &addr])
+                .args(fleet_tail("17"))
+                .stdout(std::process::Stdio::piped())
+                .stderr(std::process::Stdio::piped())
+                .spawn()
+                .expect("spawn hunt join")
+        })
+        .collect();
+    for w in workers {
+        let out = w.wait_with_output().expect("await worker");
+        assert!(
+            out.status.success(),
+            "worker failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let out = serve.wait_with_output().expect("await serve");
+    assert!(out.status.success(), "serve failed: {}", serve_err.lock().unwrap());
+    assert_eq!(stdout(&clean), stdout(&out), "fleet report diverged from the clean run");
+    let err = serve_err.lock().unwrap();
+    assert!(err.contains("[fleet]"), "missing fleet summary: {err}");
+}
+
+#[test]
+fn join_fails_fast_against_an_unreachable_coordinator() {
+    // Nobody listening: bounded retries, one error line, exit 1 — no hang,
+    // no panic, no usage dump.
+    let addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let out = bin()
+        .args(["hunt", "join", &addr, "--connect-retries", "2"])
+        .args(fleet_tail("3"))
+        .output()
+        .expect("run hunt join");
+    assert_eq!(out.status.code(), Some(1), "unreachable coordinator exits 1");
+    let err = String::from_utf8_lossy(&out.stderr);
+    let error_lines: Vec<&str> =
+        err.lines().filter(|l| l.starts_with("error:")).collect();
+    assert_eq!(error_lines.len(), 1, "exactly one error line, got: {err}");
+    assert!(
+        error_lines[0].contains("cannot reach coordinator")
+            && error_lines[0].contains("2 attempt(s)"),
+        "unexpected error line: {}",
+        error_lines[0]
+    );
+}
+
+#[test]
+fn join_survives_a_coordinator_dying_mid_handshake() {
+    // A coordinator that accepts and instantly hangs up is as good as
+    // unreachable: bounded retries, one error line, exit 1.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = std::thread::spawn(move || {
+        let mut dropped = 0u32;
+        while dropped < 3 {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    drop(stream);
+                    dropped += 1;
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    let out = bin()
+        .args(["hunt", "join", &addr, "--connect-retries", "3"])
+        .args(fleet_tail("3"))
+        .output()
+        .expect("run hunt join");
+    assert_eq!(out.status.code(), Some(1), "mid-handshake death exits 1");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("cannot reach coordinator") && err.contains("3 attempt(s)"),
+        "unexpected stderr: {err}"
+    );
+    server.join().unwrap();
+}
+
+#[test]
+fn fleet_handshake_rejects_a_config_mismatch() {
+    let dir = scratch_dir("fleet-reject");
+    std::fs::create_dir_all(&dir).unwrap();
+    let stop = dir.join("stop");
+    let stop_flag = stop.display().to_string();
+    let (serve, addr, _serve_err) =
+        spawn_serve(&fleet_tail("17"), &["--stop-file", &stop_flag]);
+
+    // Different --seed → different config fingerprint → immediate, fatal
+    // rejection (no retry loop).
+    let out = bin()
+        .args(["hunt", "join", &addr])
+        .args(fleet_tail("18"))
+        .output()
+        .expect("run mismatched join");
+    assert_eq!(out.status.code(), Some(1), "mismatch exits 1");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("rejected") && err.contains("fingerprint"),
+        "unexpected stderr: {err}"
+    );
+
+    std::fs::write(&stop, b"").unwrap();
+    let out = serve.wait_with_output().expect("await serve");
+    assert!(
+        out.status.success(),
+        "stopped serve must exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fleet_usage_errors_exit_2() {
+    // Parse-time validation of the timing/lease knobs (for serve, join, and
+    // --supervise) must reject nonsense before any socket or pipeline work.
+    let cases: &[&[&str]] = &[
+        &["hunt", "serve"],                                          // no --listen
+        &["hunt", "serve", "--listen", "x", "--lease-ms", "0"],      // zero lease
+        &["hunt", "serve", "--listen", "x", "--batch", "0"],         // zero batch
+        &["hunt", "serve", "--listen", "x", "--batch", "9999"],      // absurd batch
+        &["hunt", "serve", "--listen", "x", "--heartbeat-ms", "0"],  // zero heartbeat
+        // Lease shorter than the worker heartbeat interval (hb/4).
+        &["hunt", "serve", "--listen", "x", "--heartbeat-ms", "40000", "--lease-ms", "5000"],
+        &["hunt", "join"],                                           // no address
+        &["hunt", "join", "x:1", "--batch", "0"],                    // zero batch
+        &["hunt", "join", "x:1", "--connect-retries", "0"],          // zero retries
+        &["hunt", "join", "x:1", "--net-faults", "frob=1"],          // bad fault spec
+        &["hunt", "--supervise", "--heartbeat-ms", "0"],             // supervise too
+    ];
+    for case in cases {
+        let out = bin().args(*case).output().expect("run usage case");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "expected usage exit 2 for {case:?}; stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // A bad SB_NET_FAULTS spec is also a usage error, found before any
+    // connection attempt.
+    let out = bin()
+        .args(["hunt", "join", "127.0.0.1:1"])
+        .args(fleet_tail("3"))
+        .env("SB_NET_FAULTS", "frob=1")
+        .output()
+        .expect("run env-faulted join");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

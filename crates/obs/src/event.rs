@@ -6,7 +6,7 @@
 //! directions; `from_json` rejects unknown discriminators and missing or
 //! mistyped fields, which is what the CI trace-validation job leans on.
 //!
-//! Seven event kinds exist:
+//! Eight event kinds exist:
 //!
 //! | `ev`         | payload                                                |
 //! |--------------|--------------------------------------------------------|
@@ -16,6 +16,7 @@
 //! | `hist`       | `key`, `v` — one histogram observation                 |
 //! | `job`        | one campaign job's resolution (totals + quarantine bit)|
 //! | `worker`     | one supervised-worker lifecycle transition             |
+//! | `fleet`      | one fleet-worker lifecycle/lease transition            |
 //! | `summary`    | the run's funnel + `CampaignReport` totals             |
 //!
 //! The `summary` event is emitted last, from the authoritative
@@ -97,6 +98,20 @@ pub enum Event {
         /// Human-readable context (exit status, pending count, ...).
         detail: String,
     },
+    /// One fleet-worker lifecycle or lease transition (TCP-coordinated
+    /// campaigns only). Actions: `join`, `reject`, `lease`, `evict`,
+    /// `reassign`, `duplicate`, `drain`, `give-up`.
+    Fleet {
+        /// Microseconds since tracer origin.
+        t: u64,
+        /// Coordinator-assigned worker id (or connection id before a
+        /// worker joined).
+        worker: u64,
+        /// Lifecycle action.
+        action: String,
+        /// Human-readable context (reason, lease contents, ...).
+        detail: String,
+    },
     /// Final run summary: the funnel plus `CampaignReport` totals.
     Summary {
         /// Microseconds since tracer origin.
@@ -158,6 +173,7 @@ impl Event {
             Event::Hist { .. } => "hist",
             Event::Job { .. } => "job",
             Event::Worker { .. } => "worker",
+            Event::Fleet { .. } => "fleet",
             Event::Summary { .. } => "summary",
         }
     }
@@ -202,7 +218,8 @@ impl Event {
                 ("attempts", Json::U64(*attempts)),
                 ("quarantined", Json::Bool(*quarantined)),
             ]),
-            Event::Worker { t, worker, action, detail } => obj(vec![
+            Event::Worker { t, worker, action, detail }
+            | Event::Fleet { t, worker, action, detail } => obj(vec![
                 ("t", Json::U64(*t)),
                 ("ev", ev),
                 ("worker", Json::U64(*worker)),
@@ -278,6 +295,12 @@ impl Event {
                 action: field_str(doc, "action")?,
                 detail: field_str(doc, "detail")?,
             }),
+            "fleet" => Ok(Event::Fleet {
+                t,
+                worker: field_u64(doc, "worker")?,
+                action: field_str(doc, "action")?,
+                detail: field_str(doc, "detail")?,
+            }),
             "summary" => Ok(Event::Summary {
                 t,
                 profiles: field_u64(doc, "profiles")?,
@@ -331,6 +354,12 @@ mod tests {
             action: "heartbeat-miss".into(),
             detail: "silent for 10.2s".into(),
         });
+        roundtrip(Event::Fleet {
+            t: 6,
+            worker: 3,
+            action: "reassign".into(),
+            detail: "job 12: lease 4 expired".into(),
+        });
         roundtrip(Event::Summary {
             t: 4,
             profiles: 100,
@@ -357,6 +386,7 @@ mod tests {
         // Missing field.
         assert!(Event::parse_line("{\"t\":0,\"ev\":\"span_end\",\"span\":1,\"name\":\"x\"}").is_err());
         assert!(Event::parse_line("{\"t\":0,\"ev\":\"worker\",\"worker\":1,\"action\":\"spawn\"}").is_err());
+        assert!(Event::parse_line("{\"t\":0,\"ev\":\"fleet\",\"worker\":1,\"action\":\"join\"}").is_err());
         // Not JSON at all.
         assert!(Event::parse_line("not json").is_err());
     }

@@ -103,6 +103,10 @@ pub struct TraceReport {
     /// `exit`, `heartbeat-miss`, `give-up`), by action. Empty for
     /// single-process runs.
     pub worker_actions: BTreeMap<String, u64>,
+    /// Fleet-worker lifecycle/lease action counts (`join`, `reject`,
+    /// `lease`, `evict`, `reassign`, `duplicate`, `drain`, `give-up`), by
+    /// action. Empty for non-fleet runs.
+    pub fleet_actions: BTreeMap<String, u64>,
     /// The final summary event, if the run emitted one.
     pub summary: Option<Event>,
 }
@@ -139,6 +143,9 @@ impl TraceReport {
                 }
                 Event::Worker { ref action, .. } => {
                     *r.worker_actions.entry(action.clone()).or_insert(0) += 1;
+                }
+                Event::Fleet { ref action, .. } => {
+                    *r.fleet_actions.entry(action.clone()).or_insert(0) += 1;
                 }
                 Event::Summary { .. } => {
                     if r.summary.is_some() {
@@ -214,6 +221,7 @@ impl TraceReport {
         check("steps", job_steps, steps);
         check("quarantined", job_quarantined, quarantined);
         self.verify_supervision(&mut mismatches);
+        self.verify_fleet(&mut mismatches);
         mismatches
     }
 
@@ -245,6 +253,33 @@ impl TraceReport {
         // Every process that started (spawn or restart) must have exited by
         // the time the trace completes — the no-orphans invariant.
         check("worker exits", action("exit"), action("spawn") + action("restart"));
+    }
+
+    /// Cross-checks fleet lifecycle events against the `fleet.*` counters.
+    /// Only applies to coordinated runs — a trace with neither fleet events
+    /// nor fleet counters passes vacuously.
+    fn verify_fleet(&self, mismatches: &mut Vec<String>) {
+        let action = |a: &str| self.fleet_actions.get(a).copied().unwrap_or(0);
+        let fleet = !self.fleet_actions.is_empty()
+            || self.counters.keys().any(|k| k.starts_with("fleet."));
+        if !fleet {
+            return;
+        }
+        let mut check = |what: &str, events: u64, counter: u64| {
+            if events != counter {
+                mismatches.push(format!(
+                    "{what}: fleet events say {events}, counter says {counter}"
+                ));
+            }
+        };
+        check("fleet joins", action("join"), self.counter(keys::FLEET_JOINS));
+        check("fleet rejects", action("reject"), self.counter(keys::FLEET_REJECTS));
+        check("fleet leases", action("lease"), self.counter(keys::FLEET_LEASES));
+        check("fleet evictions", action("evict"), self.counter(keys::FLEET_EVICTIONS));
+        // Reassignments are emitted one event per job, so the event count
+        // must equal the per-job counter exactly.
+        check("fleet reassignments", action("reassign"), self.counter(keys::FLEET_REASSIGNED));
+        check("fleet duplicates", action("duplicate"), self.counter(keys::FLEET_DUPLICATES));
     }
 
     /// Renders the human-readable report: per-stage wall clock, funnel
@@ -288,6 +323,12 @@ impl TraceReport {
             keys::SUPERVISE_CRASHES,
             keys::SUPERVISE_HEARTBEAT_MISSES,
             keys::SUPERVISE_GAVE_UP,
+            keys::FLEET_JOINS,
+            keys::FLEET_REJECTS,
+            keys::FLEET_LEASES,
+            keys::FLEET_EVICTIONS,
+            keys::FLEET_REASSIGNED,
+            keys::FLEET_DUPLICATES,
             keys::FINDINGS,
         ];
         let shown: Vec<(&str, u64)> = interesting
@@ -303,6 +344,12 @@ impl TraceReport {
         if !self.worker_actions.is_empty() {
             let _ = writeln!(out, "\nsupervised workers:");
             for (action, n) in &self.worker_actions {
+                let _ = writeln!(out, "  {action:<28} {n:>10}");
+            }
+        }
+        if !self.fleet_actions.is_empty() {
+            let _ = writeln!(out, "\nfleet workers:");
+            for (action, n) in &self.fleet_actions {
                 let _ = writeln!(out, "  {action:<28} {n:>10}");
             }
         }
@@ -479,13 +526,63 @@ mod tests {
         );
     }
 
+    fn fleet_line(action: &str, worker: u64) -> String {
+        Event::Fleet {
+            t: 0,
+            worker,
+            action: action.into(),
+            detail: String::new(),
+        }
+        .to_json()
+        .render()
+    }
+
+    #[test]
+    fn fleet_events_verify_against_counters() {
+        let mut lines = traced_run();
+        let count = |key: &str, n: u64| {
+            Event::Count { t: 0, key: key.into(), n }.to_json().render()
+        };
+        lines.insert(0, fleet_line("join", 0));
+        lines.insert(1, fleet_line("join", 1));
+        lines.insert(2, fleet_line("lease", 0));
+        lines.insert(3, fleet_line("evict", 1));
+        lines.insert(4, fleet_line("reassign", 1));
+        lines.insert(5, fleet_line("reassign", 1));
+        lines.insert(6, fleet_line("duplicate", 1));
+        lines.insert(7, count(keys::FLEET_JOINS, 2));
+        lines.insert(8, count(keys::FLEET_LEASES, 1));
+        lines.insert(9, count(keys::FLEET_EVICTIONS, 1));
+        lines.insert(10, count(keys::FLEET_REASSIGNED, 2));
+        lines.insert(11, count(keys::FLEET_DUPLICATES, 1));
+        let r = TraceReport::from_lines(lines.iter().map(String::as_str)).unwrap();
+        assert_eq!(r.fleet_actions["reassign"], 2);
+        assert!(r.verify().is_empty(), "{:?}", r.verify());
+        assert!(r.render().contains("fleet workers:"));
+    }
+
+    #[test]
+    fn fleet_mismatches_are_detected() {
+        // An eviction event with no matching counter: the cross-check trips.
+        let mut lines = traced_run();
+        lines.insert(0, fleet_line("evict", 0));
+        let r = TraceReport::from_lines(lines.iter().map(String::as_str)).unwrap();
+        let mismatches = r.verify();
+        assert!(
+            mismatches.iter().any(|m| m.starts_with("fleet evictions:")),
+            "{mismatches:?}"
+        );
+    }
+
     #[test]
     fn single_process_traces_skip_supervision_checks() {
         let lines = traced_run();
         let r = TraceReport::from_lines(lines.iter().map(String::as_str)).unwrap();
         assert!(r.worker_actions.is_empty());
+        assert!(r.fleet_actions.is_empty());
         assert!(r.verify().is_empty());
         assert!(!r.render().contains("supervised workers:"));
+        assert!(!r.render().contains("fleet workers:"));
     }
 
     #[test]

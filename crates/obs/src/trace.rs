@@ -88,6 +88,20 @@ pub mod keys {
     pub const SUPERVISE_HEARTBEAT_MISSES: &str = "supervise.heartbeat_misses";
     /// Shards abandoned by the crash-loop circuit breaker.
     pub const SUPERVISE_GAVE_UP: &str = "supervise.gave_up";
+    /// Fleet workers admitted after a successful handshake.
+    pub const FLEET_JOINS: &str = "fleet.joins";
+    /// Fleet handshakes refused (version/config mismatch, draining).
+    pub const FLEET_REJECTS: &str = "fleet.rejects";
+    /// Non-empty job leases granted by the fleet coordinator.
+    pub const FLEET_LEASES: &str = "fleet.leases";
+    /// Fleet connections evicted (heartbeat timeout, unclean disconnect,
+    /// protocol violation).
+    pub const FLEET_EVICTIONS: &str = "fleet.evictions";
+    /// Jobs returned to the fleet's pending pool after a lease expired or
+    /// its holder was evicted (one increment per job).
+    pub const FLEET_REASSIGNED: &str = "fleet.reassigned";
+    /// Late results dropped by the first-`done`-wins merge rule.
+    pub const FLEET_DUPLICATES: &str = "fleet.duplicates";
     /// Detector findings (pre-dedup), all kinds.
     pub const FINDINGS: &str = "detect.findings";
     /// Three-thread trials executed.

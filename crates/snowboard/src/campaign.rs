@@ -172,6 +172,9 @@ pub struct CampaignReport {
     /// Process-supervision counters, when the campaign ran under the
     /// multi-process supervisor (`None` for in-process runs).
     pub supervise: Option<crate::metrics::SuperviseStats>,
+    /// Fleet-fabric counters, when the campaign ran under a TCP
+    /// coordinator (`None` otherwise).
+    pub fleet: Option<crate::metrics::FleetStats>,
 }
 
 impl CampaignReport {

@@ -76,6 +76,30 @@ impl Checkpoint {
         self.outcomes.contains_key(&job) || self.quarantined.contains_key(&job)
     }
 
+    /// Records `outcome` for `job` unless the job already has a verdict.
+    ///
+    /// This is the fleet's exactly-once merge rule: the first verdict for a
+    /// job wins, and anything later (a late `done` from a worker whose
+    /// lease expired and was reassigned) returns `false` so the caller can
+    /// count it as a dropped duplicate.
+    pub fn merge_outcome(&mut self, job: usize, outcome: PmcTestOutcome) -> bool {
+        if self.covers(job) {
+            return false;
+        }
+        self.outcomes.insert(job, outcome);
+        true
+    }
+
+    /// Records a quarantine verdict unless its job already has one; same
+    /// first-wins rule as [`Checkpoint::merge_outcome`].
+    pub fn merge_quarantine(&mut self, record: QuarantineRecord) -> bool {
+        if self.covers(record.job) {
+            return false;
+        }
+        self.quarantined.insert(record.job, record);
+        true
+    }
+
     /// Verifies this checkpoint belongs to the campaign described by
     /// `(seed, exemplars)`.
     pub fn validate(&self, seed: u64, exemplars: &[PmcId]) -> SbResult<()> {
@@ -429,6 +453,34 @@ pub(crate) fn quarantine_from_json(doc: &Json) -> Result<QuarantineRecord, Strin
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_is_first_wins() {
+        let mut cp = sample();
+        let dup = PmcTestOutcome {
+            trials_run: 999,
+            ..cp.outcomes[&0].clone()
+        };
+        assert!(!cp.merge_outcome(0, dup), "covered job: duplicate dropped");
+        assert_eq!(cp.outcomes[&0].trials_run, 64, "first verdict kept");
+        assert!(!cp.merge_quarantine(QuarantineRecord {
+            job: 0,
+            pmc: None,
+            attempts: 1,
+            kind: FailureKind::Crash,
+            chain: vec![],
+        }));
+        assert!(cp.merge_outcome(5, cp.outcomes[&0].clone()));
+        assert!(cp.covers(5));
+        assert!(cp.merge_quarantine(QuarantineRecord {
+            job: 6,
+            pmc: None,
+            attempts: 1,
+            kind: FailureKind::Crash,
+            chain: vec![],
+        }));
+        assert!(cp.covers(6));
+    }
 
     fn sample() -> Checkpoint {
         let mut cp = Checkpoint::begin(0xDEAD_BEEF_CAFE_F00D, &[7, 3, 9]);

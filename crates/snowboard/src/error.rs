@@ -97,6 +97,14 @@ pub enum Error {
         /// What went wrong.
         detail: String,
     },
+    /// The fleet fabric itself failed (the coordinator could not listen, a
+    /// worker exhausted its reconnect budget, a handshake was rejected).
+    /// Campaign-level for the same reason as [`Error::Supervise`]:
+    /// individual worker deaths are quarantine data, not errors.
+    Fleet {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl Error {
@@ -126,7 +134,7 @@ impl Error {
             Error::CheckpointIo { .. }
             | Error::CheckpointFormat { .. }
             | Error::ResumeMismatch { .. } => FailureKind::Checkpoint,
-            Error::Supervise { .. } => FailureKind::Crash,
+            Error::Supervise { .. } | Error::Fleet { .. } => FailureKind::Crash,
         }
     }
 
@@ -178,6 +186,9 @@ impl std::fmt::Display for Error {
             Error::Supervise { detail } => {
                 write!(f, "process supervisor failed: {detail}")
             }
+            Error::Fleet { detail } => {
+                write!(f, "fleet fabric failed: {detail}")
+            }
         }
     }
 }
@@ -195,6 +206,12 @@ impl std::error::Error for Error {
 impl From<ExecError> for Error {
     fn from(source: ExecError) -> Self {
         Error::Exec { source }
+    }
+}
+
+impl From<crate::protocol::ProtocolError> for Error {
+    fn from(source: crate::protocol::ProtocolError) -> Self {
+        Error::Fleet { detail: source.to_string() }
     }
 }
 

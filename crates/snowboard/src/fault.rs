@@ -236,6 +236,145 @@ fn parse_job(s: &str, clause: &str) -> Result<usize, String> {
         .map_err(|_| format!("bad job index '{s}' in fault clause '{clause}'"))
 }
 
+/// Scripted *network* failures for fleet workers, keyed by the worker's
+/// connection ordinal (0 for the first connection, 1 for the first
+/// reconnect, and so on) so a spec deterministically targets "the original
+/// connection" or "the connection after the first drop".
+///
+/// All faults act on the worker's *outbound* side, where one knob can
+/// exercise every coordinator failure path: a drop looks like a worker
+/// crash, a garbled frame like a protocol violation, a half-close like a
+/// silent partition, and a delay like a slow link.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetFaultPlan {
+    /// Connection → frame count after which the worker hard-closes the
+    /// socket (both directions) and reports an I/O error, as a network
+    /// partition or peer crash would.
+    pub drop_after: BTreeMap<u64, u64>,
+    /// Connection → milliseconds to sleep before every outbound frame
+    /// (a uniformly slow link).
+    pub delay_ms: BTreeMap<u64, u64>,
+    /// Connection → the 1-based outbound frame index whose payload is
+    /// corrupted in flight, driving the coordinator's schema-validation
+    /// eviction path.
+    pub garble_frame: BTreeMap<u64, u64>,
+    /// Connection → frame count after which the worker shuts down only its
+    /// write side and silently swallows later sends: the coordinator sees a
+    /// half-closed, silent peer and must evict it on heartbeat timeout.
+    pub half_close_after: BTreeMap<u64, u64>,
+}
+
+impl NetFaultPlan {
+    /// True when no network faults are scripted (the production fast path).
+    pub fn is_empty(&self) -> bool {
+        self.drop_after.is_empty()
+            && self.delay_ms.is_empty()
+            && self.garble_frame.is_empty()
+            && self.half_close_after.is_empty()
+    }
+
+    /// Should connection `conn` be hard-closed instead of sending its
+    /// `frame`-th outbound frame (1-based)?
+    pub fn drop_now(&self, conn: u64, frame: u64) -> bool {
+        self.drop_after.get(&conn).is_some_and(|&n| frame > n)
+    }
+
+    /// Per-frame write delay for connection `conn`, if any.
+    pub fn delay_for(&self, conn: u64) -> Option<std::time::Duration> {
+        self.delay_ms
+            .get(&conn)
+            .map(|&ms| std::time::Duration::from_millis(ms))
+    }
+
+    /// Should the `frame`-th outbound frame (1-based) on `conn` be
+    /// corrupted?
+    pub fn garble_now(&self, conn: u64, frame: u64) -> bool {
+        self.garble_frame.get(&conn) == Some(&frame)
+    }
+
+    /// Should `conn`'s write side be shut down after sending its `frame`-th
+    /// outbound frame (1-based)?
+    pub fn half_close_now(&self, conn: u64, frame: u64) -> bool {
+        self.half_close_after.get(&conn) == Some(&frame)
+    }
+
+    /// Parses a compact network-fault spec.
+    ///
+    /// Grammar mirrors [`FaultPlan::parse_spec`]: semicolon-separated
+    /// clauses of comma-separated `conn:value` pairs:
+    ///
+    /// * `drop=C:N[,C:N...]` — hard-close connection `C` after `N` frames
+    /// * `delay=C:MS[,...]` — sleep `MS` ms before each frame on `C`
+    /// * `garble=C:N[,...]` — corrupt the `N`-th frame sent on `C`
+    /// * `halfclose=C:N[,...]` — close `C`'s write side after `N` frames
+    ///
+    /// Example: `"drop=0:6;delay=1:50"`. An empty string parses to the
+    /// empty (inert) plan.
+    pub fn parse_spec(spec: &str) -> Result<NetFaultPlan, String> {
+        let mut plan = NetFaultPlan::default();
+        for clause in spec.split(';').filter(|c| !c.trim().is_empty()) {
+            let (kind, args) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("net fault clause '{clause}' is not kind=args"))?;
+            let kind = kind.trim();
+            let target = match kind {
+                "drop" => &mut plan.drop_after,
+                "delay" => &mut plan.delay_ms,
+                "garble" => &mut plan.garble_frame,
+                "halfclose" => &mut plan.half_close_after,
+                other => return Err(format!("unknown net fault kind '{other}'")),
+            };
+            for item in args.split(',').map(str::trim) {
+                let (conn, val) = item
+                    .split_once(':')
+                    .ok_or_else(|| format!("'{item}' in '{clause}' is not conn:value"))?;
+                let conn: u64 = conn.trim().parse().map_err(|_| {
+                    format!("bad connection ordinal '{conn}' in '{clause}'")
+                })?;
+                let val: u64 = val
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad value '{val}' in '{clause}'"))?;
+                target.insert(conn, val);
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Renders this plan back into [`NetFaultPlan::parse_spec`] grammar.
+    /// Round-trips exactly: `parse_spec(&p.to_spec()) == p`.
+    pub fn to_spec(&self) -> String {
+        fn items(map: &BTreeMap<u64, u64>) -> String {
+            map.iter()
+                .map(|(c, v)| format!("{c}:{v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+        let mut clauses = Vec::new();
+        for (kind, map) in [
+            ("drop", &self.drop_after),
+            ("delay", &self.delay_ms),
+            ("garble", &self.garble_frame),
+            ("halfclose", &self.half_close_after),
+        ] {
+            if !map.is_empty() {
+                clauses.push(format!("{kind}={}", items(map)));
+            }
+        }
+        clauses.join(";")
+    }
+
+    /// Merges `other` into this plan (per-connection conflict: `other`
+    /// wins), so the `--net-faults` flag and `SB_NET_FAULTS` environment
+    /// variable compose like their process-fault counterparts.
+    pub fn merge(&mut self, other: NetFaultPlan) {
+        self.drop_after.extend(other.drop_after);
+        self.delay_ms.extend(other.delay_ms);
+        self.garble_frame.extend(other.garble_frame);
+        self.half_close_after.extend(other.half_close_after);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +454,37 @@ mod tests {
         assert_eq!(inner.exit_code(4), None);
         assert!(!inner.should_stall(5));
         assert_eq!(inner.close_queue_before, None);
+    }
+
+    #[test]
+    fn net_fault_spec_round_trips_and_queries() {
+        let plan = NetFaultPlan::parse_spec("drop=0:6;delay=1:50;garble=2:3;halfclose=3:4")
+            .unwrap();
+        assert!(!plan.is_empty());
+        assert!(!plan.drop_now(0, 6), "the sixth frame still goes out");
+        assert!(plan.drop_now(0, 7), "the seventh does not");
+        assert!(!plan.drop_now(1, 7), "other connections are untouched");
+        assert_eq!(plan.delay_for(1), Some(std::time::Duration::from_millis(50)));
+        assert_eq!(plan.delay_for(0), None);
+        assert!(plan.garble_now(2, 3) && !plan.garble_now(2, 4));
+        assert!(plan.half_close_now(3, 4) && !plan.half_close_now(3, 5));
+        assert_eq!(NetFaultPlan::parse_spec(&plan.to_spec()).unwrap(), plan);
+        assert!(NetFaultPlan::parse_spec("").unwrap().is_empty());
+        assert_eq!(NetFaultPlan::default().to_spec(), "");
+
+        let mut merged = NetFaultPlan::parse_spec("drop=0:6").unwrap();
+        merged.merge(NetFaultPlan::parse_spec("drop=0:2;delay=1:5").unwrap());
+        assert!(merged.drop_now(0, 3), "the merged-in plan wins");
+        assert!(merged.delay_for(1).is_some());
+    }
+
+    #[test]
+    fn net_fault_spec_rejects_malformed_clauses() {
+        assert!(NetFaultPlan::parse_spec("drop").is_err(), "missing =");
+        assert!(NetFaultPlan::parse_spec("frob=1:2").is_err(), "unknown kind");
+        assert!(NetFaultPlan::parse_spec("drop=1").is_err(), "missing value");
+        assert!(NetFaultPlan::parse_spec("drop=x:1").is_err(), "bad conn");
+        assert!(NetFaultPlan::parse_spec("drop=1:x").is_err(), "bad value");
     }
 
     #[test]

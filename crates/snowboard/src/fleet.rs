@@ -1,0 +1,1992 @@
+//! Fault-tolerant distributed campaign fabric: `hunt serve` / `hunt join`.
+//!
+//! [`supervise`](crate::supervise) runs one campaign across child
+//! *processes* on one machine; this module runs it across *TCP peers*. A
+//! coordinator ([`run_coordinator`]) owns the job universe and merged
+//! checkpoint; any number of workers ([`run_join`]) connect, lease batches
+//! of jobs, and stream results back over the framed protocol in
+//! [`crate::protocol`]. The design goal is the same bit-for-bit guarantee
+//! the supervisor gives: because every job derives its seeds from
+//! `(campaign seed, job index)` alone, a merged fleet report is identical
+//! to a single-process run **no matter how jobs land on workers** — even
+//! under worker kills, partitions, and injected network faults.
+//!
+//! The failure model (see DESIGN.md §13):
+//!
+//! * **Handshake** — a joiner announces its protocol version and a
+//!   fingerprint of every campaign-shaping parameter
+//!   ([`config_fingerprint`]); mismatches are rejected outright, because
+//!   merging results computed under different parameters would silently
+//!   corrupt the report.
+//! * **Leases, not shards** — jobs are handed out in small leased batches
+//!   with a deadline. A worker that vanishes (crash, partition, kill -9)
+//!   simply stops renewing its claim: expired or evicted leases return
+//!   their unfinished jobs to the pending pool for reassignment.
+//! * **Exactly-once merge** — reassignment means a slow-but-alive worker
+//!   can deliver a result for a job someone else also ran. The merge rule
+//!   is *first verdict wins* ([`Checkpoint::merge_outcome`]); duplicates
+//!   are dropped and counted in [`FleetStats::duplicate_results`]. Since
+//!   both deliveries computed the same deterministic outcome, which one
+//!   wins is unobservable in the report.
+//! * **Eviction** — a connection that dies unexpectedly, speaks garbage,
+//!   or goes silent past the heartbeat timeout is evicted; its leased jobs
+//!   are charged one crash each (quarantined as [`FailureKind::Crash`]
+//!   past [`FleetCfg::crash_budget`]) and otherwise reassigned.
+//! * **Circuit breaker** — consecutive zero-completion deaths with no
+//!   surviving worker abandon the remaining jobs as
+//!   [`FailureKind::GaveUp`] (reported, never checkpointed) instead of
+//!   waiting forever for a fleet that keeps dying on arrival.
+//! * **Graceful drain** — the stop file (or campaign completion) flushes
+//!   the checkpoint, answers every request with `drain`, and gives
+//!   stragglers one heartbeat timeout to say goodbye.
+//!
+//! Workers reconnect through deterministic exponential backoff and resume
+//! leasing; a worker that cannot reach the coordinator at all gives up
+//! after a bounded number of attempts with a typed error. Network fault
+//! injection ([`NetFaultPlan`]) lets tests (and CI) drop, delay, garble,
+//! or half-close specific connections deterministically.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::BufReader;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sb_kernel::{BootedKernel, Program};
+use sb_vmm::Executor;
+
+use crate::campaign::{
+    aggregate, load_or_begin_checkpoint, run_one_job, trace_job_verdict, CampaignCfg,
+    CampaignReport, IncidentalIndex, JobVerdict, QuarantineRecord,
+};
+use crate::checkpoint::Checkpoint;
+use crate::error::{Error, FailureKind, SbResult};
+use crate::fault::NetFaultPlan;
+use crate::metrics::FleetStats;
+use crate::pmc::{PmcId, PmcSet};
+use crate::protocol::{
+    read_frame, write_frame, JoinMsg, ProtocolError, ServeMsg, FLEET_PROTO_VERSION,
+};
+use crate::retry::reseed;
+
+/// Fingerprint of the campaign-shaping parameters, exchanged in the fleet
+/// handshake. FNV-1a over `key=value;` pairs: not cryptographic, just a
+/// cheap stable way for both ends to notice they were launched with
+/// different flags before any results are merged.
+pub fn config_fingerprint(parts: &[(&str, String)]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for (key, value) in parts {
+        eat(key.as_bytes());
+        eat(b"=");
+        eat(value.as_bytes());
+        eat(b";");
+    }
+    hash
+}
+
+/// Coordinator tuning. Defaults suit production; tests shrink every timing
+/// knob to milliseconds.
+#[derive(Clone, Debug)]
+pub struct FleetCfg {
+    /// Evict a connection heard from not at all for this long.
+    pub heartbeat_timeout: Duration,
+    /// Reclaim a lease's unfinished jobs this long after granting it.
+    pub lease_deadline: Duration,
+    /// Most jobs granted per lease.
+    pub batch: usize,
+    /// Coordinator tick: stop-file polls, lease/heartbeat sweeps.
+    pub poll: Duration,
+    /// Evictions charged to one job before it is quarantined as
+    /// [`FailureKind::Crash`].
+    pub crash_budget: u32,
+    /// Consecutive zero-completion evictions (with no surviving worker)
+    /// before the remaining jobs are abandoned as [`FailureKind::GaveUp`].
+    pub max_instant_deaths: u32,
+    /// Graceful-shutdown trigger: drain when this file exists.
+    pub stop_file: Option<PathBuf>,
+    /// The coordinator's merged checkpoint, saved as results arrive so a
+    /// killed coordinator resumes mid-fleet.
+    pub checkpoint: PathBuf,
+    /// Expected [`config_fingerprint`] of joining workers.
+    pub config_hash: u64,
+}
+
+impl Default for FleetCfg {
+    fn default() -> Self {
+        FleetCfg {
+            heartbeat_timeout: Duration::from_secs(10),
+            lease_deadline: Duration::from_secs(30),
+            batch: 4,
+            poll: Duration::from_millis(25),
+            crash_budget: 2,
+            max_instant_deaths: 3,
+            stop_file: None,
+            checkpoint: std::env::temp_dir().join("sb-fleet.json"),
+            config_hash: 0,
+        }
+    }
+}
+
+/// What a connection's reader thread forwards to the coordinator loop.
+enum Note {
+    /// A new connection; carries the write half.
+    Conn(TcpStream),
+    Msg(JoinMsg),
+    /// The peer broke the protocol (and the reader stopped).
+    Bad(ProtocolError),
+    /// The connection's read side closed.
+    Eof,
+}
+
+/// One live connection as the coordinator sees it.
+struct Conn {
+    stream: TcpStream,
+    /// Assigned worker id after a successful handshake.
+    worker: Option<u64>,
+    last_msg: Instant,
+    /// Results (fresh or duplicate) delivered over this connection.
+    completed: u64,
+    /// The peer said [`JoinMsg::Leaving`]; its EOF is clean.
+    leaving: bool,
+    /// We told the peer to drain; its EOF is clean.
+    drained: bool,
+}
+
+/// One outstanding lease.
+struct Lease {
+    conn: u64,
+    jobs: Vec<usize>,
+    deadline: Instant,
+}
+
+/// Mutable coordinator state threaded through the loop helpers.
+struct Coordinator<'a> {
+    cfg: &'a CampaignCfg,
+    fcfg: &'a FleetCfg,
+    budgeted: &'a [PmcId],
+    cp: &'a mut Checkpoint,
+    /// Reported-but-not-checkpointed quarantines ([`FailureKind::GaveUp`],
+    /// [`FailureKind::Rejected`]).
+    extra: BTreeMap<usize, QuarantineRecord>,
+    stats: FleetStats,
+    /// Jobs not covered and not currently leased.
+    pending: BTreeSet<usize>,
+    leases: BTreeMap<u64, Lease>,
+    conns: BTreeMap<u64, Conn>,
+    crash_counts: BTreeMap<usize, u32>,
+    next_worker: u64,
+    next_lease: u64,
+    ever_joined: bool,
+    instant_deaths: u32,
+    results_seen: usize,
+    stopping: bool,
+    drain_deadline: Instant,
+}
+
+impl Coordinator<'_> {
+    fn tracer(&self) -> &sb_obs::Tracer {
+        &self.cfg.tracer
+    }
+
+    fn fleet_event(&self, worker: u64, action: &str, detail: String) {
+        let tracer = self.tracer();
+        tracer.emit(&sb_obs::Event::Fleet {
+            t: tracer.now_us(),
+            worker,
+            action: action.into(),
+            detail,
+        });
+    }
+
+    fn send(&mut self, conn_id: u64, msg: &ServeMsg) -> bool {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return false;
+        };
+        if write_frame(&mut conn.stream, &msg.render()).is_err() {
+            // The peer is gone; its EOF note (or this eviction) cleans up.
+            self.evict(conn_id, "send failed (peer gone)");
+            return false;
+        }
+        true
+    }
+
+    /// Removes a connection and releases its leases. `detail` describes an
+    /// *unclean* death; clean closes (after `leaving`/`drained`) release
+    /// without charging or counting an eviction.
+    fn drop_conn(&mut self, conn_id: u64, unclean: Option<&str>) {
+        let Some(conn) = self.conns.remove(&conn_id) else {
+            return;
+        };
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        let worker = conn.worker.unwrap_or(u64::MAX);
+        if let Some(detail) = unclean {
+            self.stats.evictions += 1;
+            self.tracer().count(sb_obs::keys::FLEET_EVICTIONS, 1);
+            self.fleet_event(worker, "evict", detail.to_owned());
+            if conn.worker.is_some() {
+                if conn.completed == 0 {
+                    self.instant_deaths += 1;
+                } else {
+                    self.instant_deaths = 0;
+                }
+            }
+        }
+        // Release every lease the connection still held.
+        let held: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| l.conn == conn_id)
+            .map(|(id, _)| *id)
+            .collect();
+        for lease_id in held {
+            let lease = self.leases.remove(&lease_id).expect("held lease");
+            for job in lease.jobs {
+                if self.cp.covers(job) || self.extra.contains_key(&job) {
+                    continue;
+                }
+                if unclean.is_some() && !self.stopping {
+                    let count = self.crash_counts.entry(job).or_insert(0);
+                    *count += 1;
+                    if *count >= self.fcfg.crash_budget {
+                        let record = QuarantineRecord {
+                            job,
+                            pmc: self.budgeted.get(job).copied(),
+                            attempts: *count,
+                            kind: FailureKind::Crash,
+                            chain: vec![
+                                format!(
+                                    "worker connection died while job {job} was leased: {}",
+                                    unclean.unwrap_or("gone")
+                                ),
+                                format!(
+                                    "crash budget ({}) exhausted",
+                                    self.fcfg.crash_budget
+                                ),
+                            ],
+                        };
+                        trace_job_verdict(
+                            self.tracer(),
+                            job,
+                            &JobVerdict::Quarantined(record.clone()),
+                        );
+                        self.cp.quarantined.insert(job, record);
+                        let _ = self.cp.save(&self.fcfg.checkpoint);
+                        continue;
+                    }
+                }
+                self.reassign(job, worker);
+            }
+        }
+    }
+
+    fn evict(&mut self, conn_id: u64, detail: &str) {
+        self.drop_conn(conn_id, Some(detail));
+    }
+
+    /// Returns a job to the pending pool. During a drain the job is simply
+    /// released (nobody will run it); otherwise it is a counted, traced
+    /// reassignment.
+    fn reassign(&mut self, job: usize, from_worker: u64) {
+        self.pending.insert(job);
+        if !self.stopping {
+            self.stats.jobs_reassigned += 1;
+            self.tracer().count(sb_obs::keys::FLEET_REASSIGNED, 1);
+            self.fleet_event(
+                from_worker,
+                "reassign",
+                format!("job {job} returned to the pending pool"),
+            );
+        }
+    }
+
+    /// Begins the drain: flush the checkpoint, tell every connection, and
+    /// start the goodbye clock.
+    fn start_drain(&mut self, reason: &str) -> SbResult<()> {
+        if self.stopping {
+            return Ok(());
+        }
+        self.stopping = true;
+        self.drain_deadline = Instant::now() + self.fcfg.heartbeat_timeout;
+        self.cp.save(&self.fcfg.checkpoint)?;
+        self.fleet_event(u64::MAX, "drain", reason.to_owned());
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            if let Some(c) = self.conns.get_mut(&id) {
+                c.drained = true;
+            }
+            self.send(id, &ServeMsg::Drain { reason: reason.to_owned() });
+        }
+        Ok(())
+    }
+
+    fn handle_join(&mut self, conn_id: u64, proto: u64, config: u64) {
+        let reject = |this: &mut Self, reason: String| {
+            this.stats.workers_rejected += 1;
+            this.tracer().count(sb_obs::keys::FLEET_REJECTS, 1);
+            this.fleet_event(u64::MAX, "reject", reason.clone());
+            this.send(conn_id, &ServeMsg::Reject { reason });
+            this.drop_conn(conn_id, None);
+        };
+        let already_joined = self
+            .conns
+            .get(&conn_id)
+            .is_some_and(|c| c.worker.is_some());
+        if already_joined {
+            self.evict(conn_id, "protocol violation: second join on one connection");
+            return;
+        }
+        if proto != FLEET_PROTO_VERSION {
+            reject(
+                self,
+                format!(
+                    "protocol version {proto} not supported (coordinator speaks {FLEET_PROTO_VERSION})"
+                ),
+            );
+            return;
+        }
+        if config != self.fcfg.config_hash {
+            reject(
+                self,
+                format!(
+                    "config fingerprint mismatch (worker {config:016x}, coordinator {:016x}) — \
+                     launch the worker with the same campaign flags",
+                    self.fcfg.config_hash
+                ),
+            );
+            return;
+        }
+        if self.stopping {
+            reject(self, "coordinator is draining".to_owned());
+            return;
+        }
+        let worker = self.next_worker;
+        self.next_worker += 1;
+        if let Some(c) = self.conns.get_mut(&conn_id) {
+            c.worker = Some(worker);
+        }
+        self.ever_joined = true;
+        self.stats.workers_joined += 1;
+        self.tracer().count(sb_obs::keys::FLEET_JOINS, 1);
+        self.fleet_event(worker, "join", format!("connection {conn_id} registered"));
+        self.send(
+            conn_id,
+            &ServeMsg::Welcome { worker, jobs: self.budgeted.len() },
+        );
+    }
+
+    fn handle_request(&mut self, conn_id: u64, max: usize) {
+        let Some(conn) = self.conns.get(&conn_id) else {
+            return;
+        };
+        let Some(worker) = conn.worker else {
+            self.evict(conn_id, "protocol violation: request before join");
+            return;
+        };
+        if self.stopping {
+            if let Some(c) = self.conns.get_mut(&conn_id) {
+                c.drained = true;
+            }
+            self.send(
+                conn_id,
+                &ServeMsg::Drain { reason: "coordinator is draining".into() },
+            );
+            return;
+        }
+        let want = self.fcfg.batch.min(max.max(1));
+        let jobs: Vec<usize> = self.pending.iter().copied().take(want).collect();
+        if jobs.is_empty() {
+            // Nothing to hand out right now (everything is leased or
+            // covered); the worker naps for the advertised interval and
+            // asks again.
+            self.send(
+                conn_id,
+                &ServeMsg::Lease {
+                    lease: 0,
+                    jobs: vec![],
+                    deadline_ms: self.fcfg.poll.as_millis() as u64,
+                },
+            );
+            return;
+        }
+        for job in &jobs {
+            self.pending.remove(job);
+        }
+        let lease = self.next_lease;
+        self.next_lease += 1;
+        self.leases.insert(
+            lease,
+            Lease {
+                conn: conn_id,
+                jobs: jobs.clone(),
+                deadline: Instant::now() + self.fcfg.lease_deadline,
+            },
+        );
+        self.stats.leases_granted += 1;
+        self.tracer().count(sb_obs::keys::FLEET_LEASES, 1);
+        self.fleet_event(worker, "lease", format!("lease {lease}: jobs {jobs:?}"));
+        self.send(
+            conn_id,
+            &ServeMsg::Lease {
+                lease,
+                jobs,
+                deadline_ms: self.fcfg.lease_deadline.as_millis() as u64,
+            },
+        );
+    }
+
+    /// Merges one delivered verdict with the first-wins rule; duplicates
+    /// (late deliveries for jobs someone else already finished) are
+    /// dropped and counted.
+    fn merge_verdict(&mut self, worker: u64, job: usize, verdict: JobVerdict) {
+        if self.cp.covers(job) {
+            self.stats.duplicate_results += 1;
+            self.tracer().count(sb_obs::keys::FLEET_DUPLICATES, 1);
+            self.fleet_event(
+                worker,
+                "duplicate",
+                format!("late result for already-covered job {job} dropped"),
+            );
+            return;
+        }
+        match verdict {
+            JobVerdict::Completed(outcome) => {
+                trace_job_verdict(
+                    self.tracer(),
+                    job,
+                    &JobVerdict::Completed(outcome.clone()),
+                );
+                let merged = self.cp.merge_outcome(job, outcome);
+                debug_assert!(merged, "covers() said the job was fresh");
+                self.extra.remove(&job);
+            }
+            JobVerdict::Quarantined(record) => {
+                trace_job_verdict(
+                    self.tracer(),
+                    job,
+                    &JobVerdict::Quarantined(record.clone()),
+                );
+                if record.kind == FailureKind::Rejected {
+                    // Mirror the supervisor: rejected jobs are reported but
+                    // never checkpointed, so a resumed campaign retries them.
+                    self.extra.entry(job).or_insert(record);
+                } else {
+                    self.cp.merge_quarantine(record);
+                }
+            }
+        }
+        self.pending.remove(&job);
+        // The job may sit in the deliverer's lease or (after reassignment)
+        // someone else's; clear it everywhere and drop emptied leases.
+        self.leases.retain(|_, lease| {
+            lease.jobs.retain(|j| *j != job);
+            !lease.jobs.is_empty()
+        });
+        self.results_seen += 1;
+        let every = self.cfg.checkpoint.as_ref().map_or(1, |c| c.every.max(1));
+        if self.results_seen.is_multiple_of(every) {
+            let _ = self.cp.save(&self.fcfg.checkpoint);
+        }
+    }
+
+    /// Reclaims unfinished jobs from expired leases. The holder is *not*
+    /// evicted — it may be partitioned-but-alive and deliver late (the
+    /// duplicate path absorbs that); it just no longer owns the jobs.
+    fn sweep_leases(&mut self, now: Instant) {
+        let expired: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| now >= l.deadline)
+            .map(|(id, _)| *id)
+            .collect();
+        for lease_id in expired {
+            let lease = self.leases.remove(&lease_id).expect("expired lease");
+            let worker = self
+                .conns
+                .get(&lease.conn)
+                .and_then(|c| c.worker)
+                .unwrap_or(u64::MAX);
+            for job in lease.jobs {
+                if !self.cp.covers(job) && !self.extra.contains_key(&job) {
+                    self.reassign(job, worker);
+                }
+            }
+        }
+    }
+
+    /// Evicts connections that have been silent past the heartbeat
+    /// timeout.
+    fn sweep_heartbeats(&mut self, now: Instant) {
+        let silent: Vec<(u64, Duration)> = self
+            .conns
+            .iter()
+            .map(|(id, c)| (*id, now.duration_since(c.last_msg)))
+            .filter(|(_, silence)| *silence > self.fcfg.heartbeat_timeout)
+            .collect();
+        for (conn_id, silence) in silent {
+            self.stats.heartbeat_misses += 1;
+            self.evict(
+                conn_id,
+                &format!("silent for {:.1}s (heartbeat timeout)", silence.as_secs_f64()),
+            );
+        }
+    }
+
+    /// The crash-loop circuit breaker: if every joiner keeps dying without
+    /// completing anything and nobody is left, stop waiting and abandon
+    /// the remaining jobs as [`FailureKind::GaveUp`].
+    fn maybe_give_up(&mut self) {
+        if self.stopping
+            || !self.ever_joined
+            || self.instant_deaths < self.fcfg.max_instant_deaths
+            || self.pending.is_empty()
+            || self.conns.values().any(|c| c.worker.is_some())
+        {
+            return;
+        }
+        let jobs: Vec<usize> = self.pending.iter().copied().collect();
+        self.fleet_event(
+            u64::MAX,
+            "give-up",
+            format!(
+                "{} consecutive instant deaths with no surviving worker; abandoning {} job(s)",
+                self.instant_deaths,
+                jobs.len()
+            ),
+        );
+        self.stats.gave_up_jobs += jobs.len() as u64;
+        for job in jobs {
+            self.pending.remove(&job);
+            let record = QuarantineRecord {
+                job,
+                pmc: self.budgeted.get(job).copied(),
+                attempts: self.crash_counts.get(&job).copied().unwrap_or(0),
+                kind: FailureKind::GaveUp,
+                chain: vec![format!(
+                    "fleet abandoned after {} consecutive instant worker deaths",
+                    self.instant_deaths
+                )],
+            };
+            trace_job_verdict(self.tracer(), job, &JobVerdict::Quarantined(record.clone()));
+            self.extra.insert(job, record);
+        }
+    }
+}
+
+/// Runs a fleet campaign: binds no sockets itself — the caller passes the
+/// bound listener (so it can print the actual address first) — then
+/// accepts joiners, leases jobs, merges results, and returns the merged
+/// report once every job is covered (or abandoned) and the fleet has
+/// drained.
+///
+/// Like [`crate::supervise::run_supervised`], per-job failures land in
+/// [`CampaignReport::quarantined`]; `Err` means a campaign-level problem
+/// (unusable resume checkpoint, checkpoint write failure).
+pub fn run_coordinator(
+    listener: TcpListener,
+    exemplars: &[PmcId],
+    cfg: &CampaignCfg,
+    fcfg: &FleetCfg,
+) -> SbResult<CampaignReport> {
+    let budgeted: Vec<PmcId> = exemplars
+        .iter()
+        .copied()
+        .take(cfg.max_tested_pmcs)
+        .collect();
+    let mut cp = load_or_begin_checkpoint(cfg, &budgeted)?;
+    let _span = cfg.tracer.span("campaign");
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<(u64, Note)>();
+    spawn_acceptor(listener, tx, shutdown.clone(), fcfg.poll);
+
+    let pending: BTreeSet<usize> =
+        (0..budgeted.len()).filter(|job| !cp.covers(*job)).collect();
+    let mut state = Coordinator {
+        cfg,
+        fcfg,
+        budgeted: &budgeted,
+        cp: &mut cp,
+        extra: BTreeMap::new(),
+        stats: FleetStats::default(),
+        pending,
+        leases: BTreeMap::new(),
+        conns: BTreeMap::new(),
+        crash_counts: BTreeMap::new(),
+        next_worker: 0,
+        next_lease: 1,
+        ever_joined: false,
+        instant_deaths: 0,
+        results_seen: 0,
+        stopping: false,
+        drain_deadline: Instant::now(),
+    };
+
+    // Flush guard: a coordinator bug must not cost the fleet's completed
+    // work — persist the checkpoint before the panic propagates.
+    let looped = catch_unwind(AssertUnwindSafe(|| coordinator_loop(&mut state, &rx)));
+    shutdown.store(true, Ordering::Relaxed);
+    let (stats, extra) = match looped {
+        Ok(r) => {
+            r?;
+            (state.stats, state.extra)
+        }
+        Err(payload) => {
+            let _ = cp.save(&fcfg.checkpoint);
+            std::panic::resume_unwind(payload);
+        }
+    };
+    cp.save(&fcfg.checkpoint)?;
+
+    let mut quarantined = cp.quarantined.clone();
+    for (job, q) in extra {
+        quarantined.entry(job).or_insert(q);
+    }
+    let outcomes = cp.outcomes.values().cloned().collect();
+    let mut report = aggregate(outcomes);
+    report.quarantined = quarantined.into_values().collect();
+    report.fleet = Some(stats);
+    Ok(report)
+}
+
+/// Accepts connections until `shutdown`, assigning connection ids and
+/// spawning one reader thread per connection.
+fn spawn_acceptor(
+    listener: TcpListener,
+    tx: mpsc::Sender<(u64, Note)>,
+    shutdown: Arc<AtomicBool>,
+    poll: Duration,
+) {
+    std::thread::spawn(move || {
+        let _ = listener.set_nonblocking(true);
+        let mut next_conn: u64 = 0;
+        while !shutdown.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let conn_id = next_conn;
+                    next_conn += 1;
+                    let _ = stream.set_nodelay(true);
+                    let Ok(read_half) = stream.try_clone() else {
+                        continue;
+                    };
+                    if tx.send((conn_id, Note::Conn(stream))).is_err() {
+                        return;
+                    }
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        let mut reader = BufReader::new(read_half);
+                        loop {
+                            match read_frame(&mut reader) {
+                                Ok(Some(payload)) => match JoinMsg::parse_line(&payload) {
+                                    Ok(msg) => {
+                                        if tx.send((conn_id, Note::Msg(msg))).is_err() {
+                                            return;
+                                        }
+                                    }
+                                    Err(e) => {
+                                        let _ = tx.send((conn_id, Note::Bad(e)));
+                                        return;
+                                    }
+                                },
+                                Ok(None) => break,
+                                Err(e) => {
+                                    let _ = tx.send((conn_id, Note::Bad(e)));
+                                    return;
+                                }
+                            }
+                        }
+                        let _ = tx.send((conn_id, Note::Eof));
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(poll);
+                }
+                Err(_) => std::thread::sleep(poll),
+            }
+        }
+    });
+}
+
+fn coordinator_loop(
+    state: &mut Coordinator<'_>,
+    rx: &mpsc::Receiver<(u64, Note)>,
+) -> SbResult<()> {
+    loop {
+        let now = Instant::now();
+
+        if !state.stopping && state.fcfg.stop_file.as_deref().is_some_and(Path::exists) {
+            state.stats.stopped = true;
+            state.start_drain("stop file")?;
+        }
+        state.sweep_leases(now);
+        state.sweep_heartbeats(now);
+        state.maybe_give_up();
+
+        if !state.stopping && state.pending.is_empty() && state.leases.is_empty() {
+            state.start_drain("campaign complete")?;
+        }
+        if state.stopping && (state.conns.is_empty() || now >= state.drain_deadline) {
+            // Stragglers past the deadline are cut off; no charges — the
+            // campaign is over either way.
+            let ids: Vec<u64> = state.conns.keys().copied().collect();
+            for id in ids {
+                if let Some(c) = state.conns.get_mut(&id) {
+                    c.drained = true;
+                }
+                state.drop_conn(id, None);
+            }
+            return Ok(());
+        }
+
+        let (conn_id, note) = match rx.recv_timeout(state.fcfg.poll) {
+            Ok(item) => item,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(Error::Fleet { detail: "acceptor thread died".into() });
+            }
+        };
+        match note {
+            Note::Conn(stream) => {
+                state.conns.insert(
+                    conn_id,
+                    Conn {
+                        stream,
+                        worker: None,
+                        last_msg: Instant::now(),
+                        completed: 0,
+                        leaving: false,
+                        drained: false,
+                    },
+                );
+            }
+            Note::Msg(msg) => {
+                if let Some(c) = state.conns.get_mut(&conn_id) {
+                    c.last_msg = Instant::now();
+                } else {
+                    continue; // already evicted; late frames are moot
+                }
+                match msg {
+                    JoinMsg::Join { proto, config } => {
+                        state.handle_join(conn_id, proto, config);
+                    }
+                    JoinMsg::Heartbeat => {}
+                    JoinMsg::Request { max } => state.handle_request(conn_id, max),
+                    JoinMsg::Done { job, outcome } => {
+                        let Some(worker) =
+                            state.conns.get(&conn_id).and_then(|c| c.worker)
+                        else {
+                            state.evict(conn_id, "protocol violation: result before join");
+                            continue;
+                        };
+                        if let Some(c) = state.conns.get_mut(&conn_id) {
+                            c.completed += 1;
+                        }
+                        state.merge_verdict(worker, job, JobVerdict::Completed(outcome));
+                    }
+                    JoinMsg::Quarantine { record } => {
+                        let Some(worker) =
+                            state.conns.get(&conn_id).and_then(|c| c.worker)
+                        else {
+                            state.evict(conn_id, "protocol violation: result before join");
+                            continue;
+                        };
+                        if let Some(c) = state.conns.get_mut(&conn_id) {
+                            c.completed += 1;
+                        }
+                        let job = record.job;
+                        state.merge_verdict(worker, job, JobVerdict::Quarantined(record));
+                    }
+                    JoinMsg::Leaving { .. } => {
+                        if let Some(c) = state.conns.get_mut(&conn_id) {
+                            c.leaving = true;
+                        }
+                    }
+                }
+            }
+            Note::Bad(e) => {
+                state.evict(conn_id, &format!("protocol violation: {e}"));
+            }
+            Note::Eof => {
+                let clean = state
+                    .conns
+                    .get(&conn_id)
+                    .is_some_and(|c| c.leaving || c.drained);
+                if clean {
+                    state.drop_conn(conn_id, None);
+                } else {
+                    state.evict(conn_id, "connection closed unexpectedly");
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// Worker tuning for [`run_join`].
+#[derive(Clone, Debug)]
+pub struct JoinCfg {
+    /// Coordinator address (`host:port`).
+    pub addr: String,
+    /// This worker's [`config_fingerprint`]; must match the coordinator's.
+    pub config_hash: u64,
+    /// Heartbeat emission interval.
+    pub heartbeat: Duration,
+    /// Most jobs requested per lease.
+    pub batch: usize,
+    /// Consecutive failed connect/handshake attempts before giving up.
+    pub connect_attempts: u32,
+    /// First reconnect delay; doubles per consecutive failure.
+    pub backoff_base: Duration,
+    /// Ceiling on the exponential reconnect delay (before jitter).
+    pub backoff_max: Duration,
+    /// Socket read timeout: a coordinator silent this long counts as a
+    /// lost session (and a mid-handshake death cannot hang the worker).
+    pub io_timeout: Duration,
+    /// Nap between requests when the coordinator has nothing to lease.
+    pub idle_poll: Duration,
+    /// Exit cleanly between jobs when this file exists.
+    pub stop_file: Option<PathBuf>,
+    /// Deterministic network fault injection, keyed by connection ordinal.
+    pub net_faults: NetFaultPlan,
+}
+
+impl Default for JoinCfg {
+    fn default() -> Self {
+        JoinCfg {
+            addr: "127.0.0.1:0".into(),
+            config_hash: 0,
+            heartbeat: Duration::from_millis(2_500),
+            batch: 4,
+            connect_attempts: 5,
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(30),
+            idle_poll: Duration::from_millis(100),
+            stop_file: None,
+            net_faults: NetFaultPlan::default(),
+        }
+    }
+}
+
+/// The prepared work a joining worker runs jobs against. Built lazily (the
+/// closure passed to [`run_join`]) so a worker that can never reach the
+/// coordinator fails fast without booting a kernel.
+pub struct FleetWork {
+    /// The booted kernel and snapshot.
+    pub booted: BootedKernel,
+    /// The sequential test corpus.
+    pub corpus: Vec<Program>,
+    /// The identified PMC universe.
+    pub set: PmcSet,
+    /// The ordered exemplar list (the coordinator's job universe).
+    pub exemplars: Vec<PmcId>,
+}
+
+/// What one worker did for the fleet.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JoinSummary {
+    /// Jobs this worker delivered verdicts for.
+    pub jobs_completed: u64,
+    /// Non-empty leases it received.
+    pub leases: u64,
+    /// Times it lost the coordinator and re-registered.
+    pub reconnects: u64,
+    /// True when the coordinator drained the fleet.
+    pub drained: bool,
+    /// True when the worker's own stop file ended the session.
+    pub stopped: bool,
+}
+
+/// Reconnect delay before attempt `n` (1-based): same shape as
+/// [`crate::supervise::respawn_backoff`], seeded from the campaign seed so
+/// identical runs wait identically.
+pub fn connect_backoff(jcfg: &JoinCfg, seed: u64, attempt: u64) -> Duration {
+    let shift = attempt.saturating_sub(1).min(20) as u32;
+    let grown = jcfg
+        .backoff_base
+        .saturating_mul(1u32.checked_shl(shift).unwrap_or(u32::MAX));
+    let capped = grown.min(jcfg.backoff_max);
+    let quarter_ms = capped.as_millis() as u64 / 4;
+    let jitter_ms = if quarter_ms == 0 {
+        0
+    } else {
+        reseed(seed ^ 0xF1EE_7000, attempt as u32) % (quarter_ms + 1)
+    };
+    capped + Duration::from_millis(jitter_ms)
+}
+
+/// The write half of a fleet connection, shared between the session loop
+/// and the heartbeat thread, with fault injection applied per frame.
+///
+/// Fault triggers count only *substantive* frames (join/request/results);
+/// heartbeats ride along uncounted, because their timing is wall-clock and
+/// counting them would make `drop=0:6`-style specs nondeterministic.
+struct WriteHalf {
+    stream: TcpStream,
+    ordinal: u64,
+    sent: u64,
+    faults: NetFaultPlan,
+    write_closed: bool,
+}
+
+impl WriteHalf {
+    fn send(&mut self, msg: &JoinMsg) -> std::io::Result<()> {
+        let substantive = !matches!(msg, JoinMsg::Heartbeat);
+        if substantive {
+            self.sent += 1;
+        }
+        let frame = self.sent;
+        if let Some(delay) = self.faults.delay_for(self.ordinal) {
+            std::thread::sleep(delay);
+        }
+        if substantive && self.faults.drop_now(self.ordinal, frame) {
+            let _ = self.stream.shutdown(Shutdown::Both);
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "injected connection drop",
+            ));
+        }
+        if self.write_closed {
+            // Half-closed: sends are silently swallowed, mimicking a peer
+            // whose ACKs still flow while its data never arrives.
+            return Ok(());
+        }
+        let mut payload = msg.render();
+        if substantive && self.faults.garble_now(self.ordinal, frame) {
+            payload = garble(&payload);
+        }
+        write_frame(&mut self.stream, &payload)?;
+        if substantive && self.faults.half_close_now(self.ordinal, frame) {
+            let _ = self.stream.shutdown(Shutdown::Write);
+            self.write_closed = true;
+        }
+        Ok(())
+    }
+}
+
+/// Corrupts every third byte (XOR 0x15 keeps the payload valid UTF-8 but
+/// breaks the JSON), so the frame arrives intact and the coordinator's
+/// *message* validation — not its framing — must catch it.
+fn garble(payload: &str) -> String {
+    let mut bytes = payload.as_bytes().to_vec();
+    for (i, b) in bytes.iter_mut().enumerate() {
+        if i.is_multiple_of(3) && b.is_ascii() {
+            *b ^= 0x15;
+            *b &= 0x7f;
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// How one connected session ended.
+enum SessionEnd {
+    /// The coordinator drained the fleet; exit cleanly.
+    Drained,
+    /// The worker's stop file appeared; exit cleanly.
+    Stopped,
+    /// The connection died; reconnect with backoff.
+    Lost,
+    /// The coordinator is unusable (rejection, bad job index); give up.
+    Fatal(Error),
+}
+
+/// Joins a fleet: connect and handshake with bounded retries, then lease
+/// and run jobs until the coordinator drains (or the stop file appears),
+/// transparently re-registering after lost connections.
+///
+/// `prepare` builds the (expensive) kernel/corpus/PMC state and is only
+/// invoked after the first successful handshake, so a worker pointed at a
+/// dead address fails fast with a one-line [`Error::Fleet`].
+pub fn run_join(
+    cfg: &CampaignCfg,
+    jcfg: &JoinCfg,
+    prepare: impl FnOnce() -> SbResult<FleetWork>,
+) -> SbResult<JoinSummary> {
+    let mut prepare = Some(prepare);
+    let mut work: Option<(FleetWork, Vec<PmcId>, IncidentalIndex)> = None;
+    let mut summary = JoinSummary::default();
+    let mut sessions: u64 = 0;
+    let mut failures: u64 = 0;
+    let mut ordinal: u64 = 0;
+
+    // The worker's job config: results stream to the coordinator, so no
+    // local tracing or checkpointing; process faults stay with run_join's
+    // own pre-job checks (mirroring the supervised worker).
+    let mut job_cfg = cfg.clone();
+    job_cfg.fault_plan = cfg.fault_plan.in_process();
+    job_cfg.tracer = sb_obs::Tracer::disabled();
+    job_cfg.checkpoint = None;
+    job_cfg.resume_from = None;
+
+    loop {
+        if jcfg.stop_file.as_deref().is_some_and(Path::exists) {
+            summary.stopped = true;
+            return Ok(summary);
+        }
+        if failures > 0 {
+            std::thread::sleep(connect_backoff(jcfg, cfg.seed, failures));
+        }
+        let connected = connect_and_join(jcfg, ordinal);
+        let (mut write, mut reader) = match connected {
+            Ok(halves) => halves,
+            Err(HandshakeFail::Fatal(e)) => return Err(e),
+            Err(HandshakeFail::Retry(detail)) => {
+                failures += 1;
+                if failures >= u64::from(jcfg.connect_attempts.max(1)) {
+                    return Err(Error::Fleet {
+                        detail: format!(
+                            "cannot reach coordinator at {} after {failures} attempt(s): {detail}",
+                            jcfg.addr
+                        ),
+                    });
+                }
+                continue;
+            }
+        };
+        failures = 0;
+        ordinal += 1;
+        sessions += 1;
+        summary.reconnects = sessions - 1;
+
+        if work.is_none() {
+            let built = prepare.take().expect("prepare used once")()?;
+            let budgeted: Vec<PmcId> = built
+                .exemplars
+                .iter()
+                .copied()
+                .take(cfg.max_tested_pmcs)
+                .collect();
+            let index = IncidentalIndex::build(&built.set);
+            work = Some((built, budgeted, index));
+        }
+        let (built, budgeted, index) = work.as_ref().expect("prepared work");
+
+        let end = run_session(
+            &mut write,
+            &mut reader,
+            built,
+            budgeted,
+            index,
+            &job_cfg,
+            jcfg,
+            &mut summary,
+        );
+        match end {
+            SessionEnd::Drained => {
+                summary.drained = true;
+                return Ok(summary);
+            }
+            SessionEnd::Stopped => {
+                summary.stopped = true;
+                return Ok(summary);
+            }
+            SessionEnd::Lost => continue,
+            SessionEnd::Fatal(e) => return Err(e),
+        }
+    }
+}
+
+/// Why a connect+handshake attempt did not produce a session.
+enum HandshakeFail {
+    /// Transient (refused, timeout, died mid-handshake): retry with
+    /// backoff.
+    Retry(String),
+    /// The coordinator answered and said no: do not retry.
+    Fatal(Error),
+}
+
+type Halves = (Arc<Mutex<WriteHalf>>, BufReader<TcpStream>);
+
+/// One connect + handshake attempt against the coordinator.
+fn connect_and_join(jcfg: &JoinCfg, ordinal: u64) -> Result<Halves, HandshakeFail> {
+    let stream = TcpStream::connect(&jcfg.addr)
+        .map_err(|e| HandshakeFail::Retry(e.to_string()))?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(jcfg.io_timeout));
+    let read_half = stream
+        .try_clone()
+        .map_err(|e| HandshakeFail::Retry(e.to_string()))?;
+    let mut write = WriteHalf {
+        stream,
+        ordinal,
+        sent: 0,
+        faults: jcfg.net_faults.clone(),
+        write_closed: false,
+    };
+    write
+        .send(&JoinMsg::Join {
+            proto: FLEET_PROTO_VERSION,
+            config: jcfg.config_hash,
+        })
+        .map_err(|e| HandshakeFail::Retry(format!("handshake send failed: {e}")))?;
+    let mut reader = BufReader::new(read_half);
+    let frame = read_frame(&mut reader)
+        .map_err(|e| HandshakeFail::Retry(format!("handshake read failed: {e}")))?
+        .ok_or_else(|| {
+            HandshakeFail::Retry("coordinator closed the connection mid-handshake".into())
+        })?;
+    match ServeMsg::parse_line(&frame) {
+        Ok(ServeMsg::Welcome { .. }) => Ok((Arc::new(Mutex::new(write)), reader)),
+        Ok(ServeMsg::Reject { reason }) => Err(HandshakeFail::Fatal(Error::Fleet {
+            detail: format!("coordinator rejected this worker: {reason}"),
+        })),
+        Ok(other) => Err(HandshakeFail::Retry(format!(
+            "unexpected handshake reply '{}'",
+            other.kind()
+        ))),
+        Err(e) => Err(HandshakeFail::Retry(format!("bad handshake reply: {e}"))),
+    }
+}
+
+/// One registered session: heartbeat in the background, lease and run jobs
+/// until drain/stop/loss.
+#[allow(clippy::too_many_arguments)]
+fn run_session(
+    write: &mut Arc<Mutex<WriteHalf>>,
+    reader: &mut BufReader<TcpStream>,
+    work: &FleetWork,
+    budgeted: &[PmcId],
+    index: &IncidentalIndex,
+    job_cfg: &CampaignCfg,
+    jcfg: &JoinCfg,
+    summary: &mut JoinSummary,
+) -> SessionEnd {
+    let done = Arc::new(AtomicBool::new(false));
+    {
+        let write = write.clone();
+        let done = done.clone();
+        let interval = jcfg.heartbeat.max(Duration::from_millis(10));
+        std::thread::spawn(move || loop {
+            std::thread::sleep(interval);
+            if done.load(Ordering::Relaxed) {
+                break;
+            }
+            let Ok(mut w) = write.lock() else { break };
+            if w.send(&JoinMsg::Heartbeat).is_err() {
+                break;
+            }
+        });
+    }
+    let end = session_loop(write, reader, work, budgeted, index, job_cfg, jcfg, summary);
+    done.store(true, Ordering::Relaxed);
+    if matches!(end, SessionEnd::Drained | SessionEnd::Stopped) {
+        // Best effort: the coordinator may already be gone.
+        if let Ok(mut w) = write.lock() {
+            let reason = if matches!(end, SessionEnd::Stopped) { "stop file" } else { "drained" };
+            let _ = w.send(&JoinMsg::Leaving { reason: reason.into() });
+        }
+    }
+    if let Ok(w) = write.lock() {
+        let _ = w.stream.shutdown(Shutdown::Both);
+    }
+    end
+}
+
+#[allow(clippy::too_many_arguments)]
+fn session_loop(
+    write: &Arc<Mutex<WriteHalf>>,
+    reader: &mut BufReader<TcpStream>,
+    work: &FleetWork,
+    budgeted: &[PmcId],
+    index: &IncidentalIndex,
+    job_cfg: &CampaignCfg,
+    jcfg: &JoinCfg,
+    summary: &mut JoinSummary,
+) -> SessionEnd {
+    let send = |write: &Arc<Mutex<WriteHalf>>, msg: &JoinMsg| -> bool {
+        write.lock().is_ok_and(|mut w| w.send(msg).is_ok())
+    };
+    let mut slot: Option<Executor> = None;
+    loop {
+        if jcfg.stop_file.as_deref().is_some_and(Path::exists) {
+            return SessionEnd::Stopped;
+        }
+        if !send(write, &JoinMsg::Request { max: jcfg.batch.max(1) }) {
+            return SessionEnd::Lost;
+        }
+        let reply = match read_frame(reader) {
+            Ok(Some(payload)) => match ServeMsg::parse_line(&payload) {
+                Ok(msg) => msg,
+                Err(_) => return SessionEnd::Lost,
+            },
+            Ok(None) | Err(_) => return SessionEnd::Lost,
+        };
+        match reply {
+            ServeMsg::Drain { .. } => return SessionEnd::Drained,
+            ServeMsg::Lease { jobs, .. } if jobs.is_empty() => {
+                std::thread::sleep(jcfg.idle_poll);
+            }
+            ServeMsg::Lease { jobs, .. } => {
+                summary.leases += 1;
+                for job in jobs {
+                    if jcfg.stop_file.as_deref().is_some_and(Path::exists) {
+                        return SessionEnd::Stopped;
+                    }
+                    let Some(id) = budgeted.get(job).copied() else {
+                        return SessionEnd::Fatal(Error::Fleet {
+                            detail: format!(
+                                "coordinator leased job {job} outside the {}-job universe",
+                                budgeted.len()
+                            ),
+                        });
+                    };
+                    // Process faults fire before the job runs (mirroring
+                    // the supervised worker) so CI can kill a fleet worker
+                    // at a deterministic point.
+                    if job_cfg.fault_plan.should_abort(job) {
+                        std::process::abort();
+                    }
+                    if let Some(code) = job_cfg.fault_plan.exit_code(job) {
+                        std::process::exit(code);
+                    }
+                    if job_cfg.fault_plan.should_stall(job) {
+                        loop {
+                            std::thread::sleep(Duration::from_secs(3600));
+                        }
+                    }
+                    let verdict = run_one_job(
+                        &mut slot,
+                        job,
+                        id,
+                        &work.booted,
+                        &work.corpus,
+                        &work.set,
+                        index,
+                        job_cfg,
+                    );
+                    let msg = match verdict {
+                        JobVerdict::Completed(outcome) => JoinMsg::Done { job, outcome },
+                        JobVerdict::Quarantined(record) => JoinMsg::Quarantine { record },
+                    };
+                    if !send(write, &msg) {
+                        return SessionEnd::Lost;
+                    }
+                    summary.jobs_completed += 1;
+                }
+            }
+            ServeMsg::Welcome { .. } | ServeMsg::Reject { .. } => return SessionEnd::Lost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::PmcTestOutcome;
+    use crate::checkpoint::CheckpointCfg;
+    use crate::cluster::Strategy;
+    use crate::select::ClusterOrder;
+    use crate::{Pipeline, PipelineCfg};
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sb-fleet-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn fast_fcfg(dir: &Path) -> FleetCfg {
+        FleetCfg {
+            heartbeat_timeout: Duration::from_millis(600),
+            lease_deadline: Duration::from_millis(2_000),
+            batch: 2,
+            poll: Duration::from_millis(5),
+            crash_budget: 2,
+            max_instant_deaths: 3,
+            stop_file: None,
+            checkpoint: dir.join("fleet.json"),
+            config_hash: 0,
+        }
+    }
+
+    fn outcome(job: usize, steps: u64) -> PmcTestOutcome {
+        PmcTestOutcome {
+            pmc: Some(job as PmcId + 100),
+            pair: (1, 2),
+            trials_run: 8,
+            exercised: true,
+            findings: vec![],
+            steps,
+            first_finding_trial: None,
+            repro_schedule: None,
+            attempts: 1,
+        }
+    }
+
+    /// A scripted fleet worker for driving the coordinator from tests.
+    struct Client {
+        write: TcpStream,
+        reader: BufReader<TcpStream>,
+    }
+
+    impl Client {
+        fn connect(addr: &std::net::SocketAddr) -> Client {
+            let write = TcpStream::connect(addr).expect("connect");
+            write.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let reader = BufReader::new(write.try_clone().unwrap());
+            Client { write, reader }
+        }
+
+        fn send(&mut self, msg: &JoinMsg) {
+            let _ = write_frame(&mut self.write, &msg.render());
+        }
+
+        fn read(&mut self) -> ServeMsg {
+            let payload = read_frame(&mut self.reader)
+                .expect("frame")
+                .expect("open stream");
+            ServeMsg::parse_line(&payload).expect("serve msg")
+        }
+
+        fn join(addr: &std::net::SocketAddr, config: u64) -> (Client, ServeMsg) {
+            let mut c = Client::connect(addr);
+            c.send(&JoinMsg::Join { proto: FLEET_PROTO_VERSION, config });
+            let reply = c.read();
+            (c, reply)
+        }
+
+        /// Requests until a non-empty lease or drain arrives.
+        fn lease(&mut self, max: usize) -> Option<Vec<usize>> {
+            loop {
+                self.send(&JoinMsg::Request { max });
+                match self.read() {
+                    ServeMsg::Lease { jobs, .. } if jobs.is_empty() => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    ServeMsg::Lease { jobs, .. } => return Some(jobs),
+                    ServeMsg::Drain { .. } => return None,
+                    other => panic!("unexpected reply {other:?}"),
+                }
+            }
+        }
+
+        /// Reads frames until drain, then leaves cleanly.
+        fn drain(mut self) {
+            loop {
+                self.send(&JoinMsg::Request { max: 1 });
+                match self.read() {
+                    ServeMsg::Drain { .. } => break,
+                    ServeMsg::Lease { jobs, .. } => {
+                        assert!(jobs.is_empty(), "unexpected work while draining");
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    other => panic!("unexpected reply {other:?}"),
+                }
+            }
+            self.send(&JoinMsg::Leaving { reason: "drained".into() });
+        }
+    }
+
+    /// Binds a listener and runs the coordinator in a thread.
+    fn start_coordinator(
+        budgeted: Vec<PmcId>,
+        cfg: CampaignCfg,
+        fcfg: FleetCfg,
+    ) -> (std::net::SocketAddr, std::thread::JoinHandle<SbResult<CampaignReport>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle =
+            std::thread::spawn(move || run_coordinator(listener, &budgeted, &cfg, &fcfg));
+        (addr, handle)
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = config_fingerprint(&[("seed", "7".into()), ("trials", "4".into())]);
+        let b = config_fingerprint(&[("seed", "7".into()), ("trials", "4".into())]);
+        let c = config_fingerprint(&[("seed", "8".into()), ("trials", "4".into())]);
+        let d = config_fingerprint(&[("seed", "7".into())]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn connect_backoff_is_deterministic_and_clamped() {
+        let jcfg = JoinCfg {
+            backoff_base: Duration::from_millis(40),
+            backoff_max: Duration::from_millis(200),
+            ..JoinCfg::default()
+        };
+        let b1 = connect_backoff(&jcfg, 2021, 1);
+        let b9 = connect_backoff(&jcfg, 2021, 9);
+        assert_eq!(b1, connect_backoff(&jcfg, 2021, 1), "pure function");
+        assert!(b1 >= Duration::from_millis(40) && b1 <= Duration::from_millis(50));
+        assert!(b9 >= Duration::from_millis(200) && b9 <= Duration::from_millis(250));
+    }
+
+    #[test]
+    fn scripted_workers_complete_a_fleet_campaign() {
+        let dir = test_dir("clean");
+        let budgeted: Vec<PmcId> = (0..4).map(|i| i + 100).collect();
+        let (addr, coord) =
+            start_coordinator(budgeted, CampaignCfg::default(), fast_fcfg(&dir));
+
+        let (mut a, reply) = Client::join(&addr, 0);
+        assert!(matches!(reply, ServeMsg::Welcome { worker: 0, jobs: 4 }), "{reply:?}");
+        let jobs = a.lease(2).expect("first lease");
+        assert_eq!(jobs, vec![0, 1], "ascending batch");
+        for job in jobs {
+            a.send(&JoinMsg::Done { job, outcome: outcome(job, 100 + job as u64) });
+        }
+        let jobs = a.lease(2).expect("second lease");
+        assert_eq!(jobs, vec![2, 3]);
+        for job in jobs {
+            a.send(&JoinMsg::Done { job, outcome: outcome(job, 100 + job as u64) });
+        }
+        a.drain();
+
+        let report = coord.join().unwrap().expect("fleet report");
+        assert_eq!(report.tested(), 4);
+        assert!(report.quarantined.is_empty());
+        assert_eq!(
+            report.outcomes.iter().map(|o| o.steps).collect::<Vec<_>>(),
+            vec![100, 101, 102, 103],
+            "merged in job order"
+        );
+        let stats = report.fleet.expect("fleet stats");
+        assert_eq!(stats.workers_joined, 1);
+        assert_eq!(stats.leases_granted, 2);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.duplicate_results, 0);
+        assert_eq!(stats.jobs_reassigned, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_worker_is_evicted_and_its_jobs_reassigned() {
+        let dir = test_dir("evict");
+        let budgeted: Vec<PmcId> = (0..2).map(|i| i + 100).collect();
+        let (addr, coord) =
+            start_coordinator(budgeted, CampaignCfg::default(), fast_fcfg(&dir));
+
+        // Worker A leases both jobs, finishes one, and dies mid-lease.
+        let (mut a, _) = Client::join(&addr, 0);
+        let jobs = a.lease(2).expect("lease");
+        assert_eq!(jobs, vec![0, 1]);
+        a.send(&JoinMsg::Done { job: 0, outcome: outcome(0, 100) });
+        drop(a); // unclean close
+
+        // Worker B picks up the reassigned job.
+        std::thread::sleep(Duration::from_millis(50));
+        let (mut b, _) = Client::join(&addr, 0);
+        let jobs = b.lease(2).expect("reassigned lease");
+        assert_eq!(jobs, vec![1]);
+        b.send(&JoinMsg::Done { job: 1, outcome: outcome(1, 101) });
+        b.drain();
+
+        let report = coord.join().unwrap().expect("fleet report");
+        assert_eq!(report.tested(), 2);
+        assert!(report.quarantined.is_empty());
+        let stats = report.fleet.unwrap();
+        assert_eq!(stats.workers_joined, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.jobs_reassigned, 1);
+        assert_eq!(stats.heartbeat_misses, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite: a worker whose lease expired delivers late — the first
+    /// verdict wins, the duplicate is dropped and counted, and the report
+    /// stays identical to what a clean run would have produced.
+    #[test]
+    fn late_result_after_reassignment_is_a_counted_duplicate() {
+        let dir = test_dir("dup");
+        let budgeted: Vec<PmcId> = (0..2).map(|i| i + 100).collect();
+        let fcfg = FleetCfg {
+            lease_deadline: Duration::from_millis(150),
+            batch: 1,
+            // Generous: a loaded test machine must never turn the *slow*
+            // worker into a heartbeat eviction — this test is about lease
+            // expiry, not silence.
+            heartbeat_timeout: Duration::from_secs(10),
+            ..fast_fcfg(&dir)
+        };
+        let (addr, coord) = start_coordinator(budgeted, CampaignCfg::default(), fcfg);
+
+        // A leases job 0 and sits on it (heartbeating, so it is not
+        // evicted — it is slow, not dead).
+        let (mut a, _) = Client::join(&addr, 0);
+        let jobs = a.lease(1).expect("lease");
+        assert_eq!(jobs, vec![0]);
+
+        // B does job 1, then picks up job 0 once A's lease expires.
+        let (mut b, _) = Client::join(&addr, 0);
+        let jobs = b.lease(1).expect("lease");
+        assert_eq!(jobs, vec![1]);
+        b.send(&JoinMsg::Done { job: 1, outcome: outcome(1, 101) });
+        let reassigned = loop {
+            a.send(&JoinMsg::Heartbeat);
+            b.send(&JoinMsg::Request { max: 1 });
+            match b.read() {
+                ServeMsg::Lease { jobs, .. } if jobs.is_empty() => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                ServeMsg::Lease { jobs, .. } => break jobs,
+                other => panic!("unexpected reply {other:?}"),
+            }
+        };
+        assert_eq!(reassigned, vec![0], "expired lease reassigned");
+        b.send(&JoinMsg::Done { job: 0, outcome: outcome(0, 100) });
+        // Sequence B's verdict through the coordinator before A's late
+        // delivery: notes from one connection are processed in order, so a
+        // reply to a later request proves the Done above was merged first
+        // (A's note rides a different reader thread and could otherwise
+        // race ahead of B's).
+        b.send(&JoinMsg::Request { max: 1 });
+        match b.read() {
+            ServeMsg::Lease { jobs, .. } => assert!(jobs.is_empty(), "campaign is complete"),
+            ServeMsg::Drain { .. } => {}
+            other => panic!("unexpected reply {other:?}"),
+        }
+
+        // A finally delivers its (identical in real life; distinct here to
+        // prove first-wins) result for job 0.
+        a.send(&JoinMsg::Done { job: 0, outcome: outcome(0, 999) });
+        a.drain();
+        b.drain();
+
+        let report = coord.join().unwrap().expect("fleet report");
+        assert_eq!(report.tested(), 2);
+        assert_eq!(report.outcomes[0].steps, 100, "first verdict won");
+        let stats = report.fleet.unwrap();
+        assert_eq!(stats.duplicate_results, 1);
+        assert_eq!(stats.jobs_reassigned, 1);
+        assert_eq!(stats.evictions, 0, "slow worker was not evicted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_budget_quarantines_a_repeatedly_fatal_job() {
+        let dir = test_dir("budget");
+        let budgeted: Vec<PmcId> = vec![100];
+        let fcfg = FleetCfg {
+            crash_budget: 2,
+            max_instant_deaths: 10,
+            ..fast_fcfg(&dir)
+        };
+        let (addr, coord) = start_coordinator(budgeted, CampaignCfg::default(), fcfg.clone());
+
+        for _ in 0..2 {
+            let (mut w, _) = Client::join(&addr, 0);
+            let jobs = w.lease(1).expect("lease");
+            assert_eq!(jobs, vec![0]);
+            drop(w); // die with the job leased
+            std::thread::sleep(Duration::from_millis(50));
+        }
+
+        let report = coord.join().unwrap().expect("fleet report");
+        assert_eq!(report.tested(), 0);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].kind, FailureKind::Crash);
+        assert_eq!(report.quarantined[0].attempts, 2);
+        let stats = report.fleet.unwrap();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.jobs_reassigned, 1, "one reassign before the budget hit");
+        // Crash quarantines are checkpointed (never retried on resume).
+        let cp = Checkpoint::load(&fcfg.checkpoint).unwrap();
+        assert!(cp.quarantined.contains_key(&0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn instant_death_loop_trips_the_circuit_breaker() {
+        let dir = test_dir("breaker");
+        let budgeted: Vec<PmcId> = (0..2).map(|i| i + 100).collect();
+        let fcfg = FleetCfg {
+            crash_budget: 100,
+            max_instant_deaths: 2,
+            ..fast_fcfg(&dir)
+        };
+        let (addr, coord) = start_coordinator(budgeted, CampaignCfg::default(), fcfg.clone());
+
+        for _ in 0..2 {
+            let (mut w, _) = Client::join(&addr, 0);
+            let _ = w.lease(2).expect("lease");
+            drop(w); // instant death: joined, completed nothing
+            std::thread::sleep(Duration::from_millis(50));
+        }
+
+        let report = coord.join().unwrap().expect("fleet report");
+        assert_eq!(report.tested(), 0);
+        assert_eq!(report.quarantined.len(), 2);
+        assert!(report.quarantined.iter().all(|q| q.kind == FailureKind::GaveUp));
+        let stats = report.fleet.unwrap();
+        assert_eq!(stats.gave_up_jobs, 2);
+        // GaveUp is reported but not checkpointed: a resumed campaign
+        // retries those jobs.
+        let cp = Checkpoint::load(&fcfg.checkpoint).unwrap();
+        assert!(cp.quarantined.is_empty());
+        assert!(cp.outcomes.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stop_file_drains_the_fleet_without_quarantines() {
+        let dir = test_dir("stop");
+        let budgeted: Vec<PmcId> = (0..2).map(|i| i + 100).collect();
+        let stop = dir.join("stop");
+        let fcfg = FleetCfg {
+            stop_file: Some(stop.clone()),
+            ..fast_fcfg(&dir)
+        };
+        let (addr, coord) = start_coordinator(budgeted, CampaignCfg::default(), fcfg.clone());
+
+        let (mut a, _) = Client::join(&addr, 0);
+        let jobs = a.lease(2).expect("lease");
+        assert_eq!(jobs, vec![0, 1]);
+        a.send(&JoinMsg::Done { job: 0, outcome: outcome(0, 100) });
+        std::fs::write(&stop, b"").unwrap();
+        // The coordinator pushes a drain; absorb it and leave.
+        match a.read() {
+            ServeMsg::Drain { .. } => {}
+            other => panic!("unexpected reply {other:?}"),
+        }
+        a.send(&JoinMsg::Leaving { reason: "drained".into() });
+        drop(a);
+
+        let report = coord.join().unwrap().expect("fleet report");
+        let stats = report.fleet.as_ref().unwrap();
+        assert!(stats.stopped);
+        assert_eq!(stats.evictions, 0, "drain closes are clean");
+        assert_eq!(stats.jobs_reassigned, 0, "no reassignment during drain");
+        assert_eq!(report.tested(), 1, "completed work is kept");
+        assert!(report.quarantined.is_empty());
+        // The checkpoint resumes past job 0 only.
+        let cp = Checkpoint::load(&fcfg.checkpoint).unwrap();
+        assert!(cp.covers(0));
+        assert!(!cp.covers(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumed_coordinator_skips_covered_jobs() {
+        let dir = test_dir("resume");
+        let budgeted: Vec<PmcId> = (0..2).map(|i| i + 100).collect();
+        let fcfg = fast_fcfg(&dir);
+
+        // First fleet: job 0 completes, then the fleet is stopped.
+        let stop = dir.join("stop");
+        let fcfg1 = FleetCfg { stop_file: Some(stop.clone()), ..fcfg.clone() };
+        let (addr, coord) =
+            start_coordinator(budgeted.clone(), CampaignCfg::default(), fcfg1);
+        let (mut a, _) = Client::join(&addr, 0);
+        let _ = a.lease(2).expect("lease");
+        a.send(&JoinMsg::Done { job: 0, outcome: outcome(0, 100) });
+        std::fs::write(&stop, b"").unwrap();
+        loop {
+            if matches!(a.read(), ServeMsg::Drain { .. }) {
+                break;
+            }
+        }
+        a.send(&JoinMsg::Leaving { reason: "drained".into() });
+        drop(a);
+        let first = coord.join().unwrap().expect("first report");
+        assert_eq!(first.tested(), 1);
+
+        // Second fleet resumes from the checkpoint: only job 1 is leased.
+        let cfg2 = CampaignCfg {
+            resume_from: Some(fcfg.checkpoint.clone()),
+            ..CampaignCfg::default()
+        };
+        let (addr, coord) = start_coordinator(budgeted, cfg2, fcfg);
+        let (mut b, _) = Client::join(&addr, 0);
+        let jobs = b.lease(2).expect("lease");
+        assert_eq!(jobs, vec![1], "covered job not re-leased");
+        b.send(&JoinMsg::Done { job: 1, outcome: outcome(1, 101) });
+        b.drain();
+        let report = coord.join().unwrap().expect("resumed report");
+        assert_eq!(report.tested(), 2, "resume merged both halves");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn handshake_rejects_version_and_config_mismatches() {
+        let dir = test_dir("reject");
+        let budgeted: Vec<PmcId> = vec![100];
+        let fcfg = FleetCfg { config_hash: 0xBEEF, ..fast_fcfg(&dir) };
+        let (addr, coord) = start_coordinator(budgeted, CampaignCfg::default(), fcfg);
+
+        let mut bad_proto = Client::connect(&addr);
+        bad_proto.send(&JoinMsg::Join { proto: 99, config: 0xBEEF });
+        let reply = bad_proto.read();
+        assert!(
+            matches!(&reply, ServeMsg::Reject { reason } if reason.contains("version")),
+            "{reply:?}"
+        );
+
+        let (_bad_config, reply) = Client::join(&addr, 0xF00D);
+        assert!(
+            matches!(&reply, ServeMsg::Reject { reason } if reason.contains("fingerprint")),
+            "{reply:?}"
+        );
+
+        let (mut good, reply) = Client::join(&addr, 0xBEEF);
+        assert!(matches!(reply, ServeMsg::Welcome { .. }), "{reply:?}");
+        let jobs = good.lease(1).expect("lease");
+        good.send(&JoinMsg::Done { job: jobs[0], outcome: outcome(0, 100) });
+        good.drain();
+
+        let report = coord.join().unwrap().expect("fleet report");
+        let stats = report.fleet.unwrap();
+        assert_eq!(stats.workers_rejected, 2);
+        assert_eq!(stats.workers_joined, 1);
+        assert_eq!(stats.evictions, 0, "rejections are not evictions");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_frames_evict_the_sender() {
+        let dir = test_dir("garbage");
+        let budgeted: Vec<PmcId> = vec![100];
+        let (addr, coord) =
+            start_coordinator(budgeted, CampaignCfg::default(), fast_fcfg(&dir));
+
+        let (mut evil, _) = Client::join(&addr, 0);
+        let _ = evil.lease(1).expect("lease");
+        use std::io::Write as _;
+        let _ = evil.write.write_all(b"not a frame at all\n");
+        let _ = evil.write.flush();
+
+        // The good worker finishes the campaign after the eviction.
+        std::thread::sleep(Duration::from_millis(50));
+        let (mut good, _) = Client::join(&addr, 0);
+        let jobs = good.lease(1).expect("reassigned lease");
+        good.send(&JoinMsg::Done { job: jobs[0], outcome: outcome(0, 100) });
+        good.drain();
+
+        let report = coord.join().unwrap().expect("fleet report");
+        assert_eq!(report.tested(), 1);
+        let stats = report.fleet.unwrap();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.jobs_reassigned, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // -- run_join (worker side) ------------------------------------------
+
+    fn empty_work() -> SbResult<FleetWork> {
+        let booted = sb_kernel::boot(sb_kernel::KernelConfig::v5_12_rc3());
+        Ok(FleetWork {
+            booted,
+            corpus: vec![],
+            set: crate::pmc::identify(&[]),
+            exemplars: vec![],
+        })
+    }
+
+    fn fast_jcfg(addr: String) -> JoinCfg {
+        JoinCfg {
+            addr,
+            heartbeat: Duration::from_millis(50),
+            batch: 2,
+            connect_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(4),
+            io_timeout: Duration::from_secs(5),
+            idle_poll: Duration::from_millis(5),
+            ..JoinCfg::default()
+        }
+    }
+
+    #[test]
+    fn unreachable_coordinator_fails_after_bounded_retries() {
+        // Bind-then-drop guarantees a refused port.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let jcfg = fast_jcfg(addr.clone());
+        let err = run_join(&CampaignCfg::default(), &jcfg, empty_work).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("cannot reach coordinator"), "{msg}");
+        assert!(msg.contains("3 attempt(s)"), "{msg}");
+    }
+
+    #[test]
+    fn rejected_worker_fails_fast_without_retrying() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let mut accepted = 0u32;
+            listener
+                .set_nonblocking(false)
+                .expect("blocking listener");
+            let deadline = Instant::now() + Duration::from_secs(2);
+            listener.set_nonblocking(true).unwrap();
+            while Instant::now() < deadline {
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        accepted += 1;
+                        let mut reader = BufReader::new(stream.try_clone().unwrap());
+                        let _ = read_frame(&mut reader); // the join
+                        let _ = write_frame(
+                            &mut stream,
+                            &ServeMsg::Reject { reason: "config fingerprint mismatch".into() }
+                                .render(),
+                        );
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+                if accepted > 0 {
+                    break;
+                }
+            }
+            accepted
+        });
+        let jcfg = fast_jcfg(addr);
+        let err = run_join(&CampaignCfg::default(), &jcfg, empty_work).unwrap_err();
+        assert!(err.to_string().contains("rejected"), "{err}");
+        assert_eq!(server.join().unwrap(), 1, "no retry after a rejection");
+    }
+
+    #[test]
+    fn worker_reconnects_after_a_lost_session_and_drains() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // Session 1: welcome, then hang up on the first request.
+            let (mut s1, _) = listener.accept().unwrap();
+            let mut r1 = BufReader::new(s1.try_clone().unwrap());
+            let _ = read_frame(&mut r1); // join
+            write_frame(&mut s1, &ServeMsg::Welcome { worker: 0, jobs: 0 }.render()).unwrap();
+            let _ = read_frame(&mut r1); // request
+            drop(s1);
+            // Session 2: welcome, then drain.
+            let (mut s2, _) = listener.accept().unwrap();
+            let mut r2 = BufReader::new(s2.try_clone().unwrap());
+            let _ = read_frame(&mut r2); // join
+            write_frame(&mut s2, &ServeMsg::Welcome { worker: 1, jobs: 0 }.render()).unwrap();
+            let _ = read_frame(&mut r2); // request
+            write_frame(&mut s2, &ServeMsg::Drain { reason: "done".into() }.render()).unwrap();
+            // Absorb the goodbye.
+            let _ = read_frame(&mut r2);
+        });
+        let jcfg = fast_jcfg(addr);
+        let summary = run_join(&CampaignCfg::default(), &jcfg, empty_work).expect("join");
+        assert!(summary.drained);
+        assert_eq!(summary.reconnects, 1);
+        assert_eq!(summary.jobs_completed, 0);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn injected_drop_forces_a_reconnect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // Connection 0 dies by injected fault after its first frame
+            // (the join); connection 1 is fault-free and drains.
+            for round in 0..2 {
+                let (mut s, _) = listener.accept().unwrap();
+                let mut r = BufReader::new(s.try_clone().unwrap());
+                match read_frame(&mut r) {
+                    Ok(Some(_)) => {}
+                    _ => continue, // the dropped connection
+                }
+                let _ = write_frame(
+                    &mut s,
+                    &ServeMsg::Welcome { worker: round, jobs: 0 }.render(),
+                );
+                match read_frame(&mut r) {
+                    Ok(Some(_)) => {}
+                    _ => continue,
+                }
+                let _ =
+                    write_frame(&mut s, &ServeMsg::Drain { reason: "done".into() }.render());
+                let _ = read_frame(&mut r);
+            }
+        });
+        // drop=0:1 — connection 0 closes after 1 substantive frame, so its
+        // request (frame 2) hits the injected drop.
+        let faults = NetFaultPlan::parse_spec("drop=0:1").unwrap();
+        let jcfg = JoinCfg { net_faults: faults, ..fast_jcfg(addr) };
+        let summary = run_join(&CampaignCfg::default(), &jcfg, empty_work).expect("join");
+        assert!(summary.drained);
+        assert_eq!(summary.reconnects, 1, "the injected drop cost one session");
+        server.join().unwrap();
+    }
+
+    /// The acceptance test in miniature: a real (tiny) pipeline run as a
+    /// single process and as a coordinator + two in-process `run_join`
+    /// workers must produce identical reports.
+    #[test]
+    fn fleet_report_matches_single_process_run() {
+        let dir = test_dir("identical");
+        let pcfg = PipelineCfg {
+            seed: 7,
+            corpus_target: 30,
+            fuzz_budget: 300,
+            workers: 2,
+            ..PipelineCfg::default()
+        };
+        let pipeline = Pipeline::prepare(sb_kernel::KernelConfig::v5_12_rc3(), pcfg.clone());
+        let exemplars = pipeline.exemplars(Strategy::SInsPair, ClusterOrder::UncommonFirst);
+        let cfg = CampaignCfg {
+            seed: 7,
+            trials_per_pmc: 4,
+            max_tested_pmcs: 6,
+            workers: 2,
+            checkpoint: Some(CheckpointCfg { path: dir.join("solo.json"), every: 4 }),
+            ..CampaignCfg::default()
+        };
+        let solo = pipeline.campaign(&exemplars, &cfg).expect("solo campaign");
+
+        let fcfg = FleetCfg { batch: 2, ..fast_fcfg(&dir) };
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let fleet_cfg = CampaignCfg { checkpoint: None, ..cfg.clone() };
+        let coord = {
+            let exemplars = exemplars.clone();
+            let fleet_cfg = fleet_cfg.clone();
+            std::thread::spawn(move || run_coordinator(listener, &exemplars, &fleet_cfg, &fcfg))
+        };
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let jcfg = fast_jcfg(addr.clone());
+                let fleet_cfg = fleet_cfg.clone();
+                let exemplars = exemplars.clone();
+                let pcfg = pcfg.clone();
+                std::thread::spawn(move || {
+                    run_join(&fleet_cfg, &jcfg, move || {
+                        let p = Pipeline::prepare(sb_kernel::KernelConfig::v5_12_rc3(), pcfg);
+                        Ok(FleetWork {
+                            booted: p.booted,
+                            corpus: p.corpus,
+                            set: p.pmcs,
+                            exemplars,
+                        })
+                    })
+                })
+            })
+            .collect();
+        let fleet = coord.join().unwrap().expect("fleet campaign");
+        let mut fleet_jobs = 0;
+        for w in workers {
+            let summary = w.join().unwrap().expect("worker summary");
+            assert!(summary.drained);
+            fleet_jobs += summary.jobs_completed;
+        }
+        assert_eq!(fleet_jobs as usize, solo.tested(), "all jobs ran exactly once");
+
+        assert_eq!(fleet.outcomes, solo.outcomes, "bit-identical outcomes");
+        assert_eq!(fleet.quarantined, solo.quarantined);
+        assert_eq!(fleet.total_steps, solo.total_steps);
+        assert_eq!(fleet.executions, solo.executions);
+        assert_eq!(fleet.bug_ids(), solo.bug_ids());
+        let stats = fleet.fleet.expect("fleet stats");
+        assert_eq!(stats.workers_joined, 2);
+        assert_eq!(stats.evictions, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

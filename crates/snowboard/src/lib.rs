@@ -28,7 +28,11 @@
 //! [`supervise`] extends the same guarantees across *process* boundaries:
 //! the campaign can run as a supervised pool of worker processes speaking
 //! the [`protocol`] wire format, surviving aborts, OOM kills, and wedged
-//! workers that in-process catch-unwind cannot.
+//! workers that in-process catch-unwind cannot. [`fleet`] extends them
+//! across *machine* boundaries: a TCP coordinator leases jobs to joining
+//! workers with heartbeat eviction, exactly-once merging of late results,
+//! and deterministic network fault injection, while keeping the merged
+//! report bit-identical to a single-process run.
 //!
 //! # Examples
 //!
@@ -51,6 +55,7 @@ pub mod cluster;
 pub mod diagnose;
 pub mod error;
 pub mod fault;
+pub mod fleet;
 pub mod metrics;
 pub mod multi;
 pub mod pmc;
@@ -74,11 +79,16 @@ pub use campaign::{CampaignCfg, CampaignReport, QuarantineRecord};
 pub use checkpoint::{Checkpoint, CheckpointCfg};
 pub use cluster::Strategy;
 pub use error::{Error, FailureKind, SbResult};
-pub use fault::FaultPlan;
-pub use metrics::{StoreStats, SuperviseStats};
+pub use fault::{FaultPlan, NetFaultPlan};
+pub use fleet::{
+    config_fingerprint, run_coordinator, run_join, FleetCfg, FleetWork, JoinCfg, JoinSummary,
+};
+pub use metrics::{FleetStats, StoreStats, SuperviseStats};
 pub use pmc::{identify_sharded, IdentifyOpts, JoinReport, JoinState, Pmc, PmcId, PmcSet};
 pub use profile::{SeqProfile, SharedAccessFilter};
-pub use protocol::WorkerMsg;
+pub use protocol::{
+    read_frame, write_frame, JoinMsg, ProtocolError, ServeMsg, WorkerMsg, FLEET_PROTO_VERSION,
+};
 pub use retry::RetryPolicy;
 pub use supervise::{run_supervised, run_worker_shard, SuperviseCfg, WorkerCfg};
 pub use watchdog::JobBudget;

@@ -104,6 +104,37 @@ pub struct SuperviseStats {
     pub stopped: bool,
 }
 
+/// Fleet-fabric counters for one coordinated (`hunt serve`) campaign run.
+///
+/// Produced by [`crate::fleet::run_coordinator`] and surfaced through
+/// `CampaignReport::fleet` and the CLI's `[fleet]` summary line (stderr,
+/// so a fleet run's stdout stays byte-identical to a single-process run).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Workers admitted after a successful handshake (re-joins count).
+    pub workers_joined: u64,
+    /// Handshakes refused (protocol/config mismatch, or joining a
+    /// draining coordinator).
+    pub workers_rejected: u64,
+    /// Non-empty job leases granted.
+    pub leases_granted: u64,
+    /// Connections forcibly closed by the coordinator (heartbeat timeout,
+    /// unclean disconnect, or protocol violation).
+    pub evictions: u64,
+    /// Of the evictions, how many were for heartbeat silence.
+    pub heartbeat_misses: u64,
+    /// Jobs returned to the pending pool after a lease expired or its
+    /// holder was evicted.
+    pub jobs_reassigned: u64,
+    /// Results for already-covered jobs, dropped by the first-`done`-wins
+    /// merge rule (late delivery after reassignment).
+    pub duplicate_results: u64,
+    /// Jobs abandoned by the fleet-wide crash-loop circuit breaker.
+    pub gave_up_jobs: u64,
+    /// True when the run ended early because the stop file appeared.
+    pub stopped: bool,
+}
+
 /// Result of an interleavings-to-expose measurement.
 #[derive(Clone, Debug)]
 pub struct ExposeResult {
